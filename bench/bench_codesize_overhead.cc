@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces the paper's code-size result (Section 5): compiling for
+ * Liquid SIMD (outlining bl/ret, idioms, alignment) grows the binary
+ * by under 1% — the paper's worst case was 104.hydro2d. We compare the
+ * inline-scalar binary against the outlined Liquid binary, padding
+ * both with the same representative application size: the hot loops
+ * are a tiny fraction of a real benchmark's text (the reason the
+ * paper's overhead is so small), so we report overhead both raw
+ * (hot-loop-only programs) and scaled to the paper's text sizes.
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+
+using namespace liquid;
+using namespace liquid::bench;
+
+int
+main()
+{
+    std::cout << "=== Code size overhead of Liquid SIMD compilation "
+                 "===\n\n";
+
+    // The paper's benchmarks are full SPEC/MediaBench programs whose
+    // text is dominated by non-hot code. Our drivers are only the hot
+    // loops, so raw percentages are inflated; scale against a
+    // representative 64 KB text segment as well.
+    constexpr std::size_t representative_text = 64 * 1024;
+
+    Table t({{"benchmark", -14}, {"inline B", 10}, {"liquid B", 10},
+             {"delta B", 9}, {"raw %", 9}, {"app-scale %", 13}});
+    t.header(std::cout);
+
+    double worst_scaled = 0;
+    for (const auto &wl : makeSuite()) {
+        const auto inline_build =
+            wl->build(EmitOptions::Mode::InlineScalar);
+        const auto liquid_build =
+            wl->build(EmitOptions::Mode::Scalarized);
+        const std::size_t a = inline_build.prog.codeSizeBytes();
+        const std::size_t b = liquid_build.prog.codeSizeBytes();
+        const double raw =
+            100.0 * (static_cast<double>(b) - static_cast<double>(a)) /
+            static_cast<double>(a);
+        const double scaled =
+            100.0 * (static_cast<double>(b) - static_cast<double>(a)) /
+            static_cast<double>(representative_text);
+        worst_scaled = std::max(worst_scaled, scaled);
+        t.row(std::cout, wl->name(), a, b,
+              static_cast<long>(b) - static_cast<long>(a), fmt(raw),
+              fmt(scaled, 3));
+    }
+
+    std::cout << "\nWorst app-scale overhead: " << fmt(worst_scaled, 3)
+              << "% (paper: <1%, worst case 104.hydro2d)\n"
+              << "Negative rows (MPEG2): outlining *shrinks* code when "
+                 "a hot loop is invoked from several sites, since the "
+                 "inline baseline duplicates the body.\n";
+    return worst_scaled < 1.0 ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduces paper Table 5: the number of scalar instructions in each
+ * benchmark's outlined function(s) (mean and max across hot loops).
+ * Absolute values differ from the paper (Trimaran-compiled SPEC code vs
+ * our kernels), but every region must land in the same 11-64 range
+ * that sized the paper's 64-instruction microcode buffer.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "bench/paper_data.hh"
+#include "sim/system.hh"
+
+using namespace liquid;
+using namespace liquid::bench;
+
+int
+main()
+{
+    std::cout << "=== Table 5: scalar instructions in outlined "
+                 "function(s) ===\n\n";
+
+    Table t({{"benchmark", -14}, {"paper mean", 12}, {"paper max", 11},
+             {"ours mean", 11}, {"ours max", 10}, {"loops", 7},
+             {"ucode max", 11}});
+    t.header(std::cout);
+
+    bool all_fit = true;
+    for (const auto &wl : makeSuite()) {
+        const auto build = wl->build(EmitOptions::Mode::Scalarized);
+        double sum = 0;
+        unsigned max = 0;
+        unsigned loops = 0;
+        for (const auto &k : build.kernels) {
+            sum += k.instCount;
+            max = std::max(max, k.instCount);
+            loops += k.numStages;
+            all_fit = all_fit && k.instCount <= 64;
+        }
+
+        // The translated microcode must also fit the 64-entry buffer.
+        System sys(SystemConfig::make(ExecMode::Liquid, 8), build.prog);
+        sys.run();
+        std::size_t ucode_max = 0;
+        for (const Addr entry : build.kernelEntries) {
+            const UcodeEntry *uc =
+                sys.ucodeCache().lookup(entry, sys.cycles() + 1'000'000);
+            if (uc)
+                ucode_max = std::max(ucode_max,
+                                     uc->insts.size());
+        }
+        all_fit = all_fit && ucode_max <= 64;
+
+        const auto &paper = paperTable5.at(wl->name());
+        t.row(std::cout, wl->name(), fmt(paper.mean, 1), paper.max,
+              fmt(sum / static_cast<double>(build.kernels.size()), 1),
+              max, loops, ucode_max);
+    }
+
+    std::cout << "\nAll regions fit the 64-instruction microcode "
+              << "buffer: " << (all_fit ? "yes" : "NO") << '\n';
+    return all_fit ? 0 : 1;
+}

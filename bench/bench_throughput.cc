@@ -1,0 +1,108 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator infrastructure
+ * itself: simulated instructions per second in each execution mode,
+ * translator event throughput, and scalarizer compile speed. These are
+ * host-performance benchmarks (not paper results) for keeping the
+ * toolchain fast enough to run the sweeps.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "asm/assembler.hh"
+#include "scalarizer/scalarizer.hh"
+#include "sim/system.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace liquid;
+
+const Workload &
+firWorkload()
+{
+    static const auto suite = makeSuite();
+    for (const auto &wl : suite) {
+        if (wl->name() == "fir")
+            return *wl;
+    }
+    std::abort();
+}
+
+void
+BM_SimulateScalar(benchmark::State &state)
+{
+    const auto build =
+        firWorkload().build(EmitOptions::Mode::InlineScalar);
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        System sys(SystemConfig::make(ExecMode::ScalarBaseline),
+                   build.prog);
+        sys.run();
+        insts += sys.core().stats().get("insts");
+    }
+    state.counters["sim_insts_per_s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateScalar);
+
+void
+BM_SimulateLiquid(benchmark::State &state)
+{
+    const auto build = firWorkload().build(EmitOptions::Mode::Scalarized);
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        System sys(SystemConfig::make(ExecMode::Liquid, 8), build.prog);
+        sys.run();
+        insts += sys.core().stats().get("insts") +
+                 sys.core().stats().get("ucodeInsts");
+    }
+    state.counters["sim_insts_per_s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateLiquid);
+
+void
+BM_ScalarizeSuite(benchmark::State &state)
+{
+    const auto suite = makeSuite();
+    for (auto _ : state) {
+        for (const auto &wl : suite) {
+            auto build = wl->build(EmitOptions::Mode::Scalarized);
+            benchmark::DoNotOptimize(build.prog.code().size());
+        }
+    }
+}
+BENCHMARK(BM_ScalarizeSuite);
+
+void
+BM_Assemble(benchmark::State &state)
+{
+    const std::string src = R"(
+        .words src 1 2 3 4 5 6 7 8
+        .data dst 32
+        fn:
+            mov r0, #0
+        top:
+            ldw r1, [src + r0]
+            add r1, r1, #100
+            stw [dst + r0], r1
+            add r0, r0, #1
+            cmp r0, #8
+            blt top
+            ret
+        main:
+            bl.simd fn
+            halt
+    )";
+    for (auto _ : state) {
+        Program prog = assemble(src);
+        benchmark::DoNotOptimize(prog.code().size());
+    }
+}
+BENCHMARK(BM_Assemble);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benchmark binaries: run a
+ * workload under a mode/width, collect cycles and stats, and format
+ * aligned tables.
+ */
+
+#ifndef LIQUID_BENCH_BENCH_UTIL_HH
+#define LIQUID_BENCH_BENCH_UTIL_HH
+
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+#include "workloads/workload.hh"
+
+namespace liquid::bench
+{
+
+/** Outcome of one simulated run. */
+struct RunOutcome
+{
+    Cycles cycles = 0;
+    std::uint64_t translations = 0;
+    std::uint64_t aborts = 0;
+    std::uint64_t ucodeDispatches = 0;
+    std::map<Addr, std::vector<Cycles>> callLog;
+};
+
+/** Run @p build under @p config. */
+inline RunOutcome
+runOnce(const Workload::Build &build, SystemConfig config)
+{
+    System sys(config, build.prog);
+    sys.run();
+    RunOutcome out;
+    out.cycles = sys.cycles();
+    out.ucodeDispatches = sys.core().stats().get("ucodeDispatches");
+    out.callLog = sys.core().callLog();
+    if (config.mode == ExecMode::Liquid) {
+        out.translations = sys.translator().stats().get("translations");
+        out.aborts = sys.translator().stats().get("aborts");
+    }
+    return out;
+}
+
+/** Cycles of the paper's baseline: inline scalar, no accelerator. */
+inline Cycles
+baselineCycles(const Workload &wl)
+{
+    const auto build = wl.build(EmitOptions::Mode::InlineScalar);
+    return runOnce(build, SystemConfig::make(ExecMode::ScalarBaseline))
+        .cycles;
+}
+
+/** Simple fixed-width table printer. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::pair<std::string, int>> columns)
+        : columns_(std::move(columns))
+    {
+    }
+
+    void
+    header(std::ostream &os) const
+    {
+        std::size_t i = 0;
+        std::size_t total = 0;
+        for (const auto &[name, width] : columns_) {
+            emitCell(os, i++, name);
+            total += static_cast<std::size_t>(
+                width < 0 ? -width : width);
+        }
+        os << '\n' << std::string(total, '-') << '\n';
+    }
+
+    template <typename... Cells>
+    void
+    row(std::ostream &os, const Cells &...cells) const
+    {
+        std::size_t i = 0;
+        (emitCell(os, i++, cells), ...);
+        os << '\n';
+    }
+
+  private:
+    /** Negative widths left-align. */
+    template <typename Cell>
+    void
+    emitCell(std::ostream &os, std::size_t i, const Cell &cell) const
+    {
+        const int width = columns_[i].second;
+        if (width < 0)
+            os << std::left << std::setw(-width) << cell << std::right;
+        else
+            os << std::setw(width) << cell;
+    }
+
+    std::vector<std::pair<std::string, int>> columns_;
+};
+
+/** Format a double with fixed precision. */
+inline std::string
+fmt(double value, int precision = 2)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+} // namespace liquid::bench
+
+#endif // LIQUID_BENCH_BENCH_UTIL_HH

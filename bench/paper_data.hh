@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reference numbers transcribed from the paper (Clark et al., HPCA'07)
+ * so each benchmark binary can print paper-vs-measured side by side.
+ */
+
+#ifndef LIQUID_BENCH_PAPER_DATA_HH
+#define LIQUID_BENCH_PAPER_DATA_HH
+
+#include <map>
+#include <string>
+
+namespace liquid::bench
+{
+
+/** Paper Table 5: scalar instructions per outlined function. */
+struct Table5Row
+{
+    double mean;
+    unsigned max;
+};
+
+inline const std::map<std::string, Table5Row> paperTable5 = {
+    {"052.alvinn", {12.5, 13}}, {"056.ear", {34.5, 36}},
+    {"093.nasa7", {45.5, 59}},  {"101.tomcatv", {35.5, 61}},
+    {"104.hydro2d", {27.2, 40}}, {"171.swim", {37.8, 51}},
+    {"172.mgrid", {46.2, 62}},  {"179.art", {12.8, 19}},
+    {"mpeg2dec", {12.5, 13}},   {"mpeg2enc", {14.5, 19}},
+    {"gsmdec", {25.0, 25}},     {"gsmenc", {19.5, 28}},
+    {"lu", {11.0, 11}},         {"fir", {11.0, 11}},
+    {"fft", {31.3, 38}},
+};
+
+/** Paper Table 6: cycles between the first two calls of hot loops. */
+struct Table6Row
+{
+    unsigned lt150;
+    unsigned lt300;
+    unsigned gt300;
+    double mean;
+};
+
+inline const std::map<std::string, Table6Row> paperTable6 = {
+    {"052.alvinn", {0, 0, 2, 19984}},   {"056.ear", {0, 0, 3, 96488}},
+    {"093.nasa7", {0, 0, 12, 23876}},   {"101.tomcatv", {0, 0, 6, 16036}},
+    {"104.hydro2d", {0, 0, 18, 24346}}, {"171.swim", {0, 0, 9, 33258}},
+    {"172.mgrid", {0, 0, 13, 5218}},    {"179.art", {0, 0, 5, 2102224}},
+    {"mpeg2dec", {0, 1, 1, 269}},       {"mpeg2enc", {0, 3, 1, 257}},
+    {"gsmdec", {0, 0, 1, 358}},         {"gsmenc", {0, 0, 1, 538}},
+    {"lu", {0, 0, 1, 15054}},           {"fir", {0, 0, 1, 13343}},
+    {"fft", {0, 0, 3, 7716}},
+};
+
+/** Paper Table 2: synthesis of the 8-wide translator (90 nm). */
+struct Table2Ref
+{
+    unsigned critPathGates = 16;
+    double critPathNs = 1.51;
+    unsigned long cells = 174117;
+    double areaMm2UpperBound = 0.2;
+    unsigned regStateBits = 56;   // per register
+    double regStateShare = 0.55;  // of control-generator area
+    unsigned ucodeBufferCells = 77000;
+};
+
+inline const Table2Ref paperTable2{};
+
+} // namespace liquid::bench
+
+#endif // LIQUID_BENCH_PAPER_DATA_HH

@@ -1,0 +1,20 @@
+; Shuffled copy through a butterfly offset table (paper Table 1 cat. 7).
+; Run with:  liquid-run --ucode examples/asm/butterfly.s
+        .rowords bfly 4 4 4 4 -4 -4 -4 -4
+        .words src 10 11 12 13 14 15 16 17
+        .data dst 32
+shuffle:
+        mov r0, #0
+top:
+        ldw r1, [bfly + r0]
+        add r1, r0, r1
+        ldw r2, [src + r1]
+        stw [dst + r0], r2
+        add r0, r0, #1
+        cmp r0, #8
+        blt top
+        ret
+main:
+        bl.simd shuffle
+        bl.simd shuffle
+        halt

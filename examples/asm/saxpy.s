@@ -1,0 +1,23 @@
+; saxpy in the Liquid SIMD scalar representation: a[i] = 3*x[i] + 100.
+; Run with:  liquid-run --sweep examples/asm/saxpy.s
+        .words x 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20 21 22 23 24 25 26 27 28 29 30 31 32
+        .data a 128
+saxpy:
+        mov r0, #0
+top:
+        ldw r1, [x + r0]
+        mul r1, r1, #3
+        add r1, r1, #100
+        stw [a + r0], r1
+        add r0, r0, #1
+        cmp r0, #32
+        blt top
+        ret
+main:
+        mov r10, #0
+outer:
+        bl.simd saxpy
+        add r10, r10, #1
+        cmp r10, #8
+        blt outer
+        halt

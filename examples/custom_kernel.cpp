@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Writing your own kernel against the public vector-IR API.
+ *
+ * The kernel here is an audio crossfade with saturating arithmetic
+ * (the GSM-style idiom of paper Section 3.2): out = sat(a*w >> 5 + b).
+ * We build it with the vir::Kernel builder, lower it three ways with
+ * emitKernel(), run all three, and check every result against the
+ * reference interpreter.
+ *
+ * Build and run:  ./examples/custom_kernel
+ */
+
+#include <iostream>
+
+#include "cpu/core.hh"
+#include "scalarizer/scalarizer.hh"
+#include "sim/system.hh"
+#include "workloads/vir_interp.hh"
+
+using namespace liquid;
+
+namespace
+{
+
+/** out = saturate(((a * 13) >> 5) + b) over int16 samples. */
+vir::Kernel
+crossfadeKernel()
+{
+    vir::Kernel k("crossfade", 128);
+    const int a = k.load("cf_a", 2, false, /*is_signed=*/true);
+    const int b = k.load("cf_b", 2, false, /*is_signed=*/true);
+    const int scaled = k.binImm(Opcode::Mul, a, 13);
+    const int shifted = k.binImm(Opcode::Asr, scaled, 5);
+    const int mixed = k.bin(Opcode::Qadd, shifted, b);
+    k.store("cf_out", mixed);
+    return k;
+}
+
+Program
+buildProgram(EmitOptions::Mode mode, unsigned width)
+{
+    Program prog;
+    // int16 sample arrays, two per word.
+    prog.allocData("cf_a", (128 + 16) * 2);
+    prog.allocData("cf_b", (128 + 16) * 2);
+    prog.allocData("cf_out", (128 + 16) * 2);
+    for (unsigned i = 0; i < 128; ++i) {
+        prog.initHalf(prog.symbol("cf_a") + 2 * i,
+                      static_cast<std::uint16_t>(500 * i - 30000));
+        prog.initHalf(prog.symbol("cf_b") + 2 * i,
+                      static_cast<std::uint16_t>(20000 - 311 * i));
+    }
+
+    EmitOptions opts;
+    opts.mode = mode;
+    opts.nativeWidth = width;
+    const EmitResult r = emitKernel(prog, crossfadeKernel(), opts);
+
+    prog.defineLabel("main");
+    if (mode == EmitOptions::Mode::Scalarized ||
+        mode == EmitOptions::Mode::Native) {
+        prog.addInst(Inst::call(-1, true, "crossfade", 16));
+        prog.addInst(Inst::call(-1, true, "crossfade", 16));
+    }
+    prog.addInst(Inst::halt());
+    prog.resolveBranches();
+
+    std::cout << "  emitted " << r.instCount << " instructions ("
+              << (mode == EmitOptions::Mode::Native ? "native SIMD"
+                                                    : "scalar rep")
+              << ")\n";
+    return prog;
+}
+
+bool
+verify(const Program &prog, const MainMemory &mem)
+{
+    // Reference: the vector-IR interpreter, applied twice like main.
+    MainMemory golden = MainMemory::forProgram(prog);
+    const auto k = crossfadeKernel();
+    interpretKernel(k, prog, golden);
+    interpretKernel(k, prog, golden);
+    for (unsigned i = 0; i < 128; ++i) {
+        const Addr addr = prog.symbol("cf_out") + 2 * i;
+        if (mem.readHalf(addr) != golden.readHalf(addr)) {
+            std::cerr << "  MISMATCH at sample " << i << '\n';
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Custom saturating crossfade kernel, three lowerings:"
+              << "\n\n1. Liquid SIMD scalar representation:\n";
+    {
+        Program prog = buildProgram(EmitOptions::Mode::Scalarized, 8);
+        System sys(SystemConfig::make(ExecMode::Liquid, 8), prog);
+        sys.run();
+        std::cout << "  " << sys.cycles() << " cycles; idioms "
+                  << "recognized: "
+                  << sys.translator().stats().get("idiomsRecognized")
+                  << " (cmp/movgt/movlt -> vqadd)\n";
+        if (!verify(prog, sys.memory()))
+            return 1;
+        std::cout << "  result matches reference interpreter\n";
+    }
+
+    std::cout << "\n2. Same binary, no accelerator:\n";
+    {
+        Program prog = buildProgram(EmitOptions::Mode::Scalarized, 8);
+        System sys(SystemConfig::make(ExecMode::ScalarBaseline), prog);
+        sys.run();
+        std::cout << "  " << sys.cycles() << " cycles\n";
+        if (!verify(prog, sys.memory()))
+            return 1;
+        std::cout << "  result matches reference interpreter\n";
+    }
+
+    std::cout << "\n3. Native SIMD ISA (8-wide):\n";
+    {
+        Program prog = buildProgram(EmitOptions::Mode::Native, 8);
+        System sys(SystemConfig::make(ExecMode::NativeSimd, 8), prog);
+        sys.run();
+        std::cout << "  " << sys.cycles() << " cycles\n";
+        if (!verify(prog, sys.memory()))
+            return 1;
+        std::cout << "  result matches reference interpreter\n";
+    }
+    return 0;
+}

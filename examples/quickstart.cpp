@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Quickstart: the whole Liquid SIMD idea in one page.
+ *
+ * We write a hot loop in the *scalar representation* (paper Table 1):
+ * plain ARM-like instructions, outlined behind a hinted bl. The same
+ * binary then runs on
+ *   - a core with no SIMD accelerator (plain scalar execution),
+ *   - a Liquid SIMD core with an 8-wide accelerator,
+ *   - a Liquid SIMD core with a 16-wide accelerator,
+ * and the dynamic translator turns the loop into width-appropriate
+ * SIMD microcode at runtime — no recompilation, no new instructions.
+ *
+ * Build and run:  ./examples/quickstart
+ */
+
+#include <iostream>
+
+#include "asm/assembler.hh"
+#include "sim/system.hh"
+
+using namespace liquid;
+
+int
+main()
+{
+    // a[i] = 3*x[i] + 100 over 64 elements, written as the scalar
+    // representation of a SIMD loop and outlined as `saxpy`.
+    Program prog = assemble(R"(
+        .data x 256
+        .data a 256
+        saxpy:
+            mov r0, #0
+        top:
+            ldw r1, [x + r0]
+            mul r1, r1, #3
+            add r1, r1, #100
+            stw [a + r0], r1
+            add r0, r0, #1
+            cmp r0, #64
+            blt top
+            ret
+        main:
+            mov r10, #0
+        outer:
+            bl.simd saxpy
+            add r10, r10, #1
+            cmp r10, #8
+            blt outer
+            halt
+    )");
+
+    // Seed the input array.
+    for (unsigned i = 0; i < 64; ++i)
+        prog.initWord(prog.symbol("x") + 4 * i, i);
+
+    std::cout << "One binary, three processors:\n\n";
+
+    Cycles scalar_cycles = 0;
+    for (unsigned width : {0u, 8u, 16u}) {
+        const SystemConfig config =
+            width == 0 ? SystemConfig::make(ExecMode::ScalarBaseline)
+                       : SystemConfig::make(ExecMode::Liquid, width);
+        System sys(config, prog);
+        sys.run();
+
+        if (width == 0) {
+            scalar_cycles = sys.cycles();
+            std::cout << "  no SIMD accelerator: " << sys.cycles()
+                      << " cycles (scalar representation runs as-is)\n";
+        } else {
+            std::cout << "  " << width << "-wide accelerator:  "
+                      << sys.cycles() << " cycles ("
+                      << static_cast<double>(scalar_cycles) /
+                             static_cast<double>(sys.cycles())
+                      << "x), "
+                      << sys.translator().stats().get("translations")
+                      << " region translated, "
+                      << sys.core().stats().get("ucodeDispatches")
+                      << " microcode dispatches\n";
+        }
+
+        // Same architectural result everywhere.
+        const Word last = sys.memory().readWord(
+            prog.symbol("a") + 4 * 63);
+        if (last != 3 * 63 + 100) {
+            std::cerr << "wrong result!\n";
+            return 1;
+        }
+    }
+
+    // Peek at the microcode an 8-wide translator generated.
+    System sys(SystemConfig::make(ExecMode::Liquid, 8), prog);
+    sys.run();
+    const UcodeEntry *uc = sys.ucodeCache().lookup(
+        Program::instAddr(prog.labelIndex("saxpy")), sys.cycles());
+    std::cout << "\nGenerated SIMD microcode (8-wide):\n";
+    for (const auto &inst : uc->insts)
+        std::cout << "    " << inst.toString() << '\n';
+    return 0;
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerate every paper table/figure and the ablations.
+# Usage: scripts/reproduce.sh [build-dir]
+set -euo pipefail
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" --output-on-failure
+
+for b in "$BUILD"/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo
+    echo "########## $(basename "$b")"
+    "$b"
+done

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Two-pass text assembler for the Liquid SIMD ISA.
+ *
+ * Syntax (one item per line, ';' starts a comment):
+ *
+ *     .data    name bytes [align]   ; reserve zeroed bytes
+ *     .words   name w0 w1 ...       ; reserve + initialize a word array
+ *     .floats  name f0 f1 ...       ; word array of float bit patterns
+ *     .rowords name w0 w1 ...       ; same, marked read-only (constant
+ *                                   ;  tables the translator may track)
+ *     .cvec    name w0 w1 ...       ; constant-vector pool entry
+ *     label:
+ *         mov   r0, #0
+ *         ldw   r1, [bfly + r0]
+ *         stw   [tmp0 + r3], f3     ; store: memory operand first
+ *         movgt r1, #255            ; conditional execution suffix
+ *         blt   label
+ *         bl    func                ; plain call
+ *         bl.simd func              ; call hinted as translatable
+ *         vperm.bfly8 vf0, vf0      ; permutation kind + block suffix
+ *         vmask vf3, vf3, #0xF0/8   ; lane mask / pattern period
+ *         vadd  v1, v2, cv:name     ; constant-vector operand
+ *         vredmin r1, v2            ; reduction folds into dst
+ *         halt
+ */
+
+#ifndef LIQUID_ASM_ASSEMBLER_HH
+#define LIQUID_ASM_ASSEMBLER_HH
+
+#include <string>
+
+#include "asm/program.hh"
+
+namespace liquid
+{
+
+/**
+ * Assemble @p source into a Program. Throws FatalError with a
+ * line-numbered message on any syntax or semantic error.
+ */
+Program assemble(const std::string &source);
+
+} // namespace liquid
+
+#endif // LIQUID_ASM_ASSEMBLER_HH

@@ -1,0 +1,177 @@
+#include "asm/program.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace liquid
+{
+
+void
+Program::defineLabel(const std::string &name)
+{
+    if (labels_.count(name))
+        fatal("duplicate label '", name, "'");
+    labels_[name] = static_cast<int>(code_.size());
+}
+
+int
+Program::labelIndex(const std::string &name) const
+{
+    auto it = labels_.find(name);
+    if (it == labels_.end())
+        fatal("undefined label '", name, "'");
+    return it->second;
+}
+
+bool
+Program::hasLabel(const std::string &name) const
+{
+    return labels_.count(name) != 0;
+}
+
+Addr
+Program::allocData(const std::string &name, std::size_t bytes,
+                   std::size_t align)
+{
+    if (symbols_.count(name))
+        fatal("duplicate data symbol '", name, "'");
+    const std::size_t offset =
+        static_cast<std::size_t>(roundUp(data_.size(), align));
+    data_.resize(offset + bytes, 0);
+    const Addr addr = dataBase + static_cast<Addr>(offset);
+    symbols_[name] = addr;
+    return addr;
+}
+
+Addr
+Program::allocWords(const std::string &name,
+                    const std::vector<Word> &words, std::size_t align)
+{
+    const Addr addr = allocData(name, words.size() * 4, align);
+    for (std::size_t i = 0; i < words.size(); ++i)
+        initWord(addr + static_cast<Addr>(i * 4), words[i]);
+    return addr;
+}
+
+Addr
+Program::allocRoWords(const std::string &name,
+                      const std::vector<Word> &words, std::size_t align)
+{
+    const Addr addr = allocWords(name, words, align);
+    markReadOnly(addr, addr + static_cast<Addr>(words.size() * 4));
+    return addr;
+}
+
+void
+Program::markReadOnly(Addr begin, Addr end)
+{
+    LIQUID_ASSERT(begin <= end);
+    roRanges_.emplace_back(begin, end);
+}
+
+bool
+Program::isReadOnly(Addr addr) const
+{
+    for (const auto &[begin, end] : roRanges_) {
+        if (addr >= begin && addr < end)
+            return true;
+    }
+    return false;
+}
+
+Addr
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols_.find(name);
+    if (it == symbols_.end())
+        fatal("undefined data symbol '", name, "'");
+    return it->second;
+}
+
+bool
+Program::hasSymbol(const std::string &name) const
+{
+    return symbols_.count(name) != 0;
+}
+
+void
+Program::initWord(Addr addr, Word value)
+{
+    initHalf(addr, static_cast<std::uint16_t>(value));
+    initHalf(addr + 2, static_cast<std::uint16_t>(value >> 16));
+}
+
+void
+Program::initHalf(Addr addr, std::uint16_t value)
+{
+    initByte(addr, static_cast<std::uint8_t>(value));
+    initByte(addr + 1, static_cast<std::uint8_t>(value >> 8));
+}
+
+void
+Program::initByte(Addr addr, std::uint8_t value)
+{
+    LIQUID_ASSERT(addr >= dataBase);
+    const std::size_t offset = addr - dataBase;
+    LIQUID_ASSERT(offset < data_.size(),
+                  "data init outside allocated image");
+    data_[offset] = value;
+}
+
+std::uint32_t
+Program::addCvec(ConstVec cv)
+{
+    for (std::size_t i = 0; i < cvecPool_.size(); ++i) {
+        if (cvecPool_[i] == cv)
+            return static_cast<std::uint32_t>(i);
+    }
+    cvecPool_.push_back(std::move(cv));
+    return static_cast<std::uint32_t>(cvecPool_.size()) - 1;
+}
+
+const ConstVec &
+Program::cvec(std::uint32_t id) const
+{
+    LIQUID_ASSERT(id < cvecPool_.size(), "bad cvec id");
+    return cvecPool_[id];
+}
+
+void
+Program::resolveBranches()
+{
+    for (auto &inst : code_) {
+        if (!inst.isBranch() || inst.op == Opcode::Ret)
+            continue;
+        if (inst.target >= 0)
+            continue;
+        if (inst.targetSym.empty())
+            fatal("branch with neither target nor symbol");
+        inst.target = labelIndex(inst.targetSym);
+    }
+}
+
+std::string
+Program::listing() const
+{
+    // Invert the label map for printing.
+    std::map<int, std::vector<std::string>> labels_at;
+    for (const auto &kv : labels_)
+        labels_at[kv.second].push_back(kv.first);
+
+    std::ostringstream os;
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+        auto it = labels_at.find(static_cast<int>(i));
+        if (it != labels_at.end()) {
+            for (const auto &name : it->second)
+                os << name << ":\n";
+        }
+        os << "  " << std::setw(4) << i << ": " << code_[i].toString()
+           << '\n';
+    }
+    return os.str();
+}
+
+} // namespace liquid

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * A complete Liquid SIMD binary: code, static data image, symbols and
+ * the constant-vector pool. Produced either by the text assembler or
+ * directly by the scalarizer's code generators.
+ */
+
+#ifndef LIQUID_ASM_PROGRAM_HH
+#define LIQUID_ASM_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace liquid
+{
+
+/** Program text + data segments. */
+class Program
+{
+  public:
+    /** Architectural base address of the code segment. */
+    static constexpr Addr codeBase = 0x1000;
+    /** Architectural base address of the data segment. */
+    static constexpr Addr dataBase = 0x100000;
+
+    // ---- code ----------------------------------------------------------
+
+    /** Append an instruction; returns its index. */
+    int
+    addInst(Inst inst)
+    {
+        code_.push_back(std::move(inst));
+        return static_cast<int>(code_.size()) - 1;
+    }
+
+    /** Bind @p name to the next instruction index. */
+    void defineLabel(const std::string &name);
+
+    /** Instruction index of a label; fatal() if missing. */
+    int labelIndex(const std::string &name) const;
+
+    bool hasLabel(const std::string &name) const;
+
+    const std::vector<Inst> &code() const { return code_; }
+    std::vector<Inst> &code() { return code_; }
+
+    /** Architectural address of instruction @p index. */
+    static Addr instAddr(int index)
+    {
+        return codeBase + static_cast<Addr>(index) * 4;
+    }
+
+    /** Code size in architectural bytes (4 per instruction). */
+    std::size_t codeSizeBytes() const { return code_.size() * 4; }
+
+    // ---- data ----------------------------------------------------------
+
+    /**
+     * Reserve @p bytes of zeroed static data named @p name, aligned to
+     * @p align bytes. Returns the symbol's address.
+     */
+    Addr allocData(const std::string &name, std::size_t bytes,
+                   std::size_t align = 4);
+
+    /** Reserve and initialize a word array. */
+    Addr allocWords(const std::string &name,
+                    const std::vector<Word> &words,
+                    std::size_t align = 4);
+
+    /**
+     * Reserve and initialize a *read-only* word array (compiler-emitted
+     * offset / constant / mask tables). The dynamic translator records
+     * "previous values" only for loads from read-only data, the
+     * software-visible analogue of a read-only page attribute.
+     */
+    Addr allocRoWords(const std::string &name,
+                      const std::vector<Word> &words,
+                      std::size_t align = 4);
+
+    /** Mark [begin, end) as read-only data. */
+    void markReadOnly(Addr begin, Addr end);
+
+    /** True if @p addr lies in a read-only range. */
+    bool isReadOnly(Addr addr) const;
+
+    /** Address of a data symbol; fatal() if missing. */
+    Addr symbol(const std::string &name) const;
+
+    bool hasSymbol(const std::string &name) const;
+
+    /** Write an initial value into the data image. */
+    void initWord(Addr addr, Word value);
+    void initHalf(Addr addr, std::uint16_t value);
+    void initByte(Addr addr, std::uint8_t value);
+
+    const std::vector<std::uint8_t> &dataImage() const { return data_; }
+    const std::map<std::string, Addr> &symbols() const { return symbols_; }
+
+    // ---- constant-vector pool -------------------------------------------
+
+    /** Intern a constant vector; returns its pool id. */
+    std::uint32_t addCvec(ConstVec cv);
+
+    const ConstVec &cvec(std::uint32_t id) const;
+    const std::vector<ConstVec> &cvecPool() const { return cvecPool_; }
+
+    // ---- convenience -----------------------------------------------------
+
+    /** Build a MemRef to `[name + index + #disp]`. */
+    MemRef
+    ref(const std::string &name, RegId index = RegId::invalid(),
+        std::int32_t disp = 0) const
+    {
+        MemRef m;
+        m.base = symbol(name);
+        m.baseSym = name;
+        m.index = index;
+        m.disp = disp;
+        return m;
+    }
+
+    /**
+     * Resolve symbolic branch targets (targetSym set, target < 0) against
+     * the label table. fatal() on undefined labels.
+     */
+    void resolveBranches();
+
+    /** Full disassembly listing (for debugging and the examples). */
+    std::string listing() const;
+
+  private:
+    std::vector<Inst> code_;
+    std::map<std::string, int> labels_;
+    std::vector<std::uint8_t> data_;
+    std::map<std::string, Addr> symbols_;
+    std::vector<ConstVec> cvecPool_;
+    std::vector<std::pair<Addr, Addr>> roRanges_;
+};
+
+} // namespace liquid
+
+#endif // LIQUID_ASM_PROGRAM_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the encoder, caches and the
+ * translator's hardware cost model.
+ */
+
+#ifndef LIQUID_COMMON_BITFIELD_HH
+#define LIQUID_COMMON_BITFIELD_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace liquid
+{
+
+/** Extract bits [lo, hi] (inclusive) of a word. */
+constexpr std::uint32_t
+bits(std::uint32_t value, unsigned hi, unsigned lo)
+{
+    const unsigned width = hi - lo + 1;
+    const std::uint32_t mask =
+        width >= 32 ? 0xFFFFFFFFu : ((1u << width) - 1u);
+    return (value >> lo) & mask;
+}
+
+/** Insert @p field into bits [lo, hi] of @p base. */
+constexpr std::uint32_t
+insertBits(std::uint32_t base, unsigned hi, unsigned lo, std::uint32_t field)
+{
+    const unsigned width = hi - lo + 1;
+    const std::uint32_t mask =
+        width >= 32 ? 0xFFFFFFFFu : ((1u << width) - 1u);
+    return (base & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/** Sign-extend the low @p width bits of @p value. */
+constexpr std::int32_t
+sext(std::uint32_t value, unsigned width)
+{
+    const unsigned shift = 32 - width;
+    return static_cast<std::int32_t>(value << shift) >>
+           static_cast<std::int32_t>(shift);
+}
+
+/** True if @p value is a power of two (and nonzero). */
+constexpr bool
+isPowerOf2(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** log2 of a power-of-two value. */
+constexpr unsigned
+log2i(std::uint64_t value)
+{
+    LIQUID_ASSERT(isPowerOf2(value));
+    return static_cast<unsigned>(std::countr_zero(value));
+}
+
+/** Round @p value up to a multiple of power-of-two @p align. */
+constexpr std::uint64_t
+roundUp(std::uint64_t value, std::uint64_t align)
+{
+    LIQUID_ASSERT(isPowerOf2(align));
+    return (value + align - 1) & ~(align - 1);
+}
+
+/** Ceiling division for unsigned values. */
+constexpr std::uint64_t
+divCeil(std::uint64_t num, std::uint64_t den)
+{
+    return (num + den - 1) / den;
+}
+
+/** Reinterpret a float as its raw 32-bit pattern. */
+inline Word
+floatToBits(float f)
+{
+    return std::bit_cast<Word>(f);
+}
+
+/** Reinterpret a 32-bit pattern as a float. */
+inline float
+bitsToFloat(Word w)
+{
+    return std::bit_cast<float>(w);
+}
+
+} // namespace liquid
+
+#endif // LIQUID_COMMON_BITFIELD_HH

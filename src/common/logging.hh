@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Minimal logging / fatal-error helpers in the spirit of gem5's
+ * base/logging.hh. panic() signals a simulator bug; fatal() signals a
+ * user/configuration error. Both throw so tests can assert on them.
+ */
+
+#ifndef LIQUID_COMMON_LOGGING_HH
+#define LIQUID_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace liquid
+{
+
+/** Thrown by panic(): an internal invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Thrown by fatal(): the user asked for something unsupported. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail
+{
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    formatInto(os, rest...);
+}
+
+} // namespace detail
+
+/**
+ * Abort with an internal-error diagnostic. Use when the condition can
+ * only arise from a simulator bug.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::ostringstream os;
+    os << "panic: ";
+    detail::formatInto(os, args...);
+    throw PanicError(os.str());
+}
+
+/**
+ * Abort with a user-error diagnostic. Use for bad configurations or
+ * unsupported inputs.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::ostringstream os;
+    os << "fatal: ";
+    detail::formatInto(os, args...);
+    throw FatalError(os.str());
+}
+
+/** panic() unless the condition holds. */
+#define LIQUID_ASSERT(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::liquid::panic("assertion failed: ", #cond, " ", __FILE__,     \
+                            ":", __LINE__, " ", ##__VA_ARGS__);             \
+        }                                                                   \
+    } while (0)
+
+} // namespace liquid
+
+#endif // LIQUID_COMMON_LOGGING_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xorshift128+). Every
+ * workload and property test seeds one of these explicitly so runs are
+ * bit-reproducible across platforms, unlike std::default_random_engine.
+ */
+
+#ifndef LIQUID_COMMON_RANDOM_HH
+#define LIQUID_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace liquid
+{
+
+/** Small, fast, deterministic RNG. Not for cryptography. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+    {
+        // SplitMix64 to fill the state from a single seed.
+        auto next = [&seed]() {
+            seed += 0x9E3779B97F4A7C15ull;
+            std::uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+            return z ^ (z >> 31);
+        };
+        s0_ = next();
+        s1_ = next();
+        if (s0_ == 0 && s1_ == 0)
+            s1_ = 1;
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next64()
+    {
+        std::uint64_t x = s0_;
+        const std::uint64_t y = s1_;
+        s0_ = y;
+        x ^= x << 23;
+        s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1_ + y;
+    }
+
+    /** Next 32-bit value. */
+    std::uint32_t next32() { return static_cast<std::uint32_t>(next64()); }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        const std::uint64_t span =
+            static_cast<std::uint64_t>(hi - lo) + 1ull;
+        return lo + static_cast<std::int64_t>(next64() % span);
+    }
+
+    /** Uniform float in [0, 1). */
+    float
+    nextFloat()
+    {
+        return static_cast<float>(next64() >> 40) /
+               static_cast<float>(1ull << 24);
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return nextFloat() < p; }
+
+  private:
+    std::uint64_t s0_;
+    std::uint64_t s1_;
+};
+
+} // namespace liquid
+
+#endif // LIQUID_COMMON_RANDOM_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tiny statistics registry, modelled loosely on gem5's stats package.
+ * Components own named counters; a StatGroup can be dumped as text or
+ * queried by tests and the benchmark harnesses.
+ */
+
+#ifndef LIQUID_COMMON_STATS_HH
+#define LIQUID_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace liquid
+{
+
+/** A named bag of 64-bit counters with hierarchical dotted names. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Add @p delta to counter @p stat (creates it at zero). */
+    void
+    inc(const std::string &stat, std::uint64_t delta = 1)
+    {
+        counters_[stat] += delta;
+    }
+
+    /** Overwrite counter @p stat. */
+    void
+    set(const std::string &stat, std::uint64_t value)
+    {
+        counters_[stat] = value;
+    }
+
+    /** Read a counter; missing counters read as zero. */
+    std::uint64_t
+    get(const std::string &stat) const
+    {
+        auto it = counters_.find(stat);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** Reset every counter to zero. */
+    void
+    reset()
+    {
+        for (auto &kv : counters_)
+            kv.second = 0;
+    }
+
+    const std::string &name() const { return name_; }
+
+    const std::map<std::string, std::uint64_t> &
+    counters() const
+    {
+        return counters_;
+    }
+
+    /** Dump "group.stat value" lines. */
+    void
+    dump(std::ostream &os) const
+    {
+        for (const auto &kv : counters_)
+            os << name_ << '.' << kv.first << ' ' << kv.second << '\n';
+    }
+
+  private:
+    std::string name_;
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+} // namespace liquid
+
+#endif // LIQUID_COMMON_STATS_HH

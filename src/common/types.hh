@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Fundamental scalar types used throughout the Liquid SIMD simulator.
+ */
+
+#ifndef LIQUID_COMMON_TYPES_HH
+#define LIQUID_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <cstddef>
+
+namespace liquid
+{
+
+/** Byte address into simulated memory. */
+using Addr = std::uint32_t;
+
+/** Simulated clock cycle count. */
+using Cycles = std::uint64_t;
+
+/** Raw 32-bit register / memory word, interpreted per opcode. */
+using Word = std::uint32_t;
+
+/** Signed view of a register word. */
+using SWord = std::int32_t;
+
+/** Invalid / "no address" sentinel. */
+inline constexpr Addr invalidAddr = 0xFFFFFFFFu;
+
+} // namespace liquid
+
+#endif // LIQUID_COMMON_TYPES_HH

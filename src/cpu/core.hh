@@ -1,0 +1,190 @@
+/**
+ * @file
+ * The processor model: an in-order, single-issue five-stage pipeline in
+ * the style of the ARM-926EJ-S the paper simulates, extended with a
+ * parameterized SIMD accelerator datapath and a microcode-dispatch front
+ * end (paper Figure 1).
+ *
+ * The model is execute-at-retire: each instruction is functionally
+ * executed and charged its cycle cost in program order. Retired
+ * instructions are exposed on a retire bus (RetireSink) that the
+ * post-retirement dynamic translator listens to.
+ */
+
+#ifndef LIQUID_CPU_CORE_HH
+#define LIQUID_CPU_CORE_HH
+
+#include <functional>
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "asm/program.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "cpu/regfile.hh"
+#include "memory/cache.hh"
+#include "memory/main_memory.hh"
+#include "memory/ucode_cache.hh"
+
+namespace liquid
+{
+
+/** Core and memory-hierarchy configuration. */
+struct CoreConfig
+{
+    /** SIMD accelerator vector width in 32-bit lanes; 0 = none. */
+    unsigned simdWidth = 0;
+    /** Dispatch translated microcode on hits (Liquid SIMD mode). */
+    bool translationEnabled = true;
+
+    Cycles missPenalty = 60;
+    unsigned busBytesPerCycle = 16;  ///< SIMD memory datapath width
+    unsigned takenBranchPenalty = 2;
+    unsigned floatAddLatency = 1;    ///< extra cycles for float add/sub
+    unsigned floatMulLatency = 3;    ///< extra cycles for float mul
+
+    CacheConfig icache{};
+    CacheConfig dcache{};
+
+    /** Failure injection: raise an external abort every N cycles. */
+    Cycles interruptPeriod = 0;
+
+    /** Watchdog: panic after this many retired instructions. */
+    std::uint64_t maxInsts = 2'000'000'000ull;
+};
+
+/** Everything the retire bus reports about one retired instruction. */
+struct RetireInfo
+{
+    const Inst *inst = nullptr;
+    int index = -1;       ///< static instruction index
+    bool executed = true; ///< condition held
+    Word value = 0;       ///< result / loaded / stored value
+    Addr memAddr = invalidAddr;
+    bool branchTaken = false;
+};
+
+/** Listener on the retire bus (implemented by the dynamic translator). */
+class RetireSink
+{
+  public:
+    virtual ~RetireSink() = default;
+
+    /** A scalar-mode instruction retired. */
+    virtual void onRetire(const RetireInfo &info, Cycles now) = 0;
+    /** A bl retired and control entered the outlined function. */
+    virtual void onCall(Addr callee_entry, bool hinted,
+                        unsigned width_hint, Cycles now) = 0;
+    /** A ret retired. */
+    virtual void onReturn(Cycles now) = 0;
+    /** External abort: interrupt / context switch. */
+    virtual void onInterrupt(Cycles now) = 0;
+};
+
+/** The processor core. */
+class Core
+{
+  public:
+    Core(const CoreConfig &config, const Program &prog, MainMemory &mem);
+
+    /** Attach the post-retirement translator (may be null). */
+    void setRetireSink(RetireSink *sink) { sink_ = sink; }
+
+    /**
+     * Front-end microcode lookup: given an outlined function's entry
+     * address and the current cycle, return ready microcode or null.
+     */
+    using UcodeLookup =
+        std::function<const UcodeEntry *(Addr, Cycles)>;
+    void setUcodeLookup(UcodeLookup lookup) { ucodeLookup_ = lookup; }
+
+    /** Run from the program's "main" label (or index 0) until halt. */
+    void run();
+
+    /**
+     * Execute one outlined region in isolation: run from instruction
+     * @p entry_index until its ret. Used by the offline translator's
+     * sandbox.
+     */
+    void runRegion(int entry_index);
+
+    /** Run a single instruction; returns false once halted. */
+    bool step();
+
+    /**
+     * Stream an execution trace: one line per retired instruction
+     * (cycle, pc or microcode index, disassembly). Null disables.
+     */
+    void setTrace(std::ostream *os) { trace_ = os; }
+
+    Cycles cycles() const { return cycles_; }
+    bool halted() const { return halted_; }
+
+    RegFile &regs() { return regs_; }
+    const RegFile &regs() const { return regs_; }
+
+    Cache &icache() { return icache_; }
+    Cache &dcache() { return dcache_; }
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+    /**
+     * Cycle of each bl to each target (first few per target) — drives
+     * the paper's Table 6 (time between consecutive calls of outlined
+     * hot loops).
+     */
+    const std::map<Addr, std::vector<Cycles>> &callLog() const
+    {
+        return callLog_;
+    }
+
+    const CoreConfig &config() const { return config_; }
+
+  private:
+    void execute(const Inst &inst);
+    void executeVector(const Inst &inst);
+    void chargeScalarMem(const Inst &inst, Addr ea);
+    void chargeVectorMem(Addr ea, unsigned bytes, bool is_write);
+    bool readsReg(const Inst &inst, RegId reg) const;
+    const ConstVec &resolveCvec(const Inst &inst) const;
+    void retire(const RetireInfo &info);
+    Addr memEA(const Inst &inst) const;
+
+    CoreConfig config_;
+    const Program &prog_;
+    MainMemory &mem_;
+    RegFile regs_;
+    Cache icache_;
+    Cache dcache_;
+    StatGroup stats_;
+
+    RetireSink *sink_ = nullptr;
+    UcodeLookup ucodeLookup_;
+
+    /** callStack_ marker used by runRegion(). */
+    static constexpr int regionSentinel = -2;
+
+    int pc_ = 0;
+    std::vector<int> callStack_;
+    bool halted_ = false;
+    Cycles cycles_ = 0;
+    std::uint64_t instsRetired_ = 0;
+
+    // Microcode execution state.
+    const UcodeEntry *ucode_ = nullptr;
+    unsigned upc_ = 0;
+    int ucodeReturn_ = 0;
+
+    // Load-use interlock tracking.
+    RegId pendingLoadDst_;
+
+    Cycles nextInterrupt_ = 0;
+    std::map<Addr, std::vector<Cycles>> callLog_;
+    std::ostream *trace_ = nullptr;
+};
+
+} // namespace liquid
+
+#endif // LIQUID_CPU_CORE_HH

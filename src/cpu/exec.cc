@@ -1,0 +1,176 @@
+#include "cpu/exec.hh"
+
+#include <algorithm>
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace liquid
+{
+
+namespace
+{
+
+Word
+satAdd(Word a, Word b)
+{
+    const std::int64_t sum = static_cast<std::int64_t>(
+                                 static_cast<SWord>(a)) +
+                             static_cast<SWord>(b);
+    return static_cast<Word>(std::clamp<std::int64_t>(sum, satMin, satMax));
+}
+
+Word
+satSub(Word a, Word b)
+{
+    const std::int64_t diff = static_cast<std::int64_t>(
+                                  static_cast<SWord>(a)) -
+                              static_cast<SWord>(b);
+    return static_cast<Word>(
+        std::clamp<std::int64_t>(diff, satMin, satMax));
+}
+
+} // namespace
+
+Word
+evalScalarOp(Opcode op, Word a, Word b, bool use_float)
+{
+    if (use_float) {
+        const float fa = bitsToFloat(a);
+        const float fb = bitsToFloat(b);
+        switch (op) {
+          case Opcode::Add: return floatToBits(fa + fb);
+          case Opcode::Sub: return floatToBits(fa - fb);
+          case Opcode::Rsb: return floatToBits(fb - fa);
+          case Opcode::Mul: return floatToBits(fa * fb);
+          case Opcode::Min: return floatToBits(std::min(fa, fb));
+          case Opcode::Max: return floatToBits(std::max(fa, fb));
+          default:
+            break;  // bitwise and shifts fall through to raw handling
+        }
+    }
+
+    const SWord sa = static_cast<SWord>(a);
+    const SWord sb = static_cast<SWord>(b);
+    switch (op) {
+      case Opcode::Mov: return b;
+      case Opcode::Add: return a + b;
+      case Opcode::Sub: return a - b;
+      case Opcode::Rsb: return b - a;
+      case Opcode::Mul: return a * b;
+      case Opcode::And: return a & b;
+      case Opcode::Orr: return a | b;
+      case Opcode::Eor: return a ^ b;
+      case Opcode::Bic: return a & ~b;
+      case Opcode::Lsl: return b >= 32 ? 0 : a << (b & 31);
+      case Opcode::Lsr: return b >= 32 ? 0 : a >> (b & 31);
+      case Opcode::Asr:
+        return static_cast<Word>(sa >> std::min<Word>(b, 31));
+      case Opcode::Min: return static_cast<Word>(std::min(sa, sb));
+      case Opcode::Max: return static_cast<Word>(std::max(sa, sb));
+      case Opcode::Qadd: return satAdd(a, b);
+      case Opcode::Qsub: return satSub(a, b);
+      default:
+        panic("evalScalarOp: not a data-processing opcode: ", opName(op));
+    }
+}
+
+int
+evalCompare(Word a, Word b, bool use_float)
+{
+    if (use_float) {
+        const float fa = bitsToFloat(a);
+        const float fb = bitsToFloat(b);
+        return fa < fb ? -1 : (fa == fb ? 0 : 1);
+    }
+    const SWord sa = static_cast<SWord>(a);
+    const SWord sb = static_cast<SWord>(b);
+    return sa < sb ? -1 : (sa == sb ? 0 : 1);
+}
+
+VecValue
+evalVectorOp(Opcode op, const VecValue &a, const VecValue &b,
+             unsigned width, bool use_float)
+{
+    const Opcode scalar_op = opInfo(op).scalarEquiv;
+    LIQUID_ASSERT(scalar_op != Opcode::Nop,
+                  "no scalar equivalent for ", opName(op));
+    VecValue out{};
+    for (unsigned i = 0; i < width; ++i)
+        out[i] = evalScalarOp(scalar_op, a[i], b[i], use_float);
+    return out;
+}
+
+VecValue
+evalVectorConstOp(Opcode op, const VecValue &a, const ConstVec &cv,
+                  unsigned width, bool use_float)
+{
+    const Opcode scalar_op = opInfo(op).scalarEquiv;
+    LIQUID_ASSERT(scalar_op != Opcode::Nop);
+    LIQUID_ASSERT(!cv.lanes.empty());
+    VecValue out{};
+    for (unsigned i = 0; i < width; ++i) {
+        out[i] = evalScalarOp(scalar_op, a[i], cv.lanes[i % cv.lanes.size()],
+                              use_float);
+    }
+    return out;
+}
+
+Word
+evalReduction(Opcode red_op, Word acc, const VecValue &v, unsigned width,
+              bool use_float)
+{
+    const Opcode scalar_op = opInfo(red_op).scalarEquiv;
+    LIQUID_ASSERT(scalar_op != Opcode::Nop,
+                  "bad reduction opcode ", opName(red_op));
+    Word out = acc;
+    for (unsigned i = 0; i < width; ++i)
+        out = evalScalarOp(scalar_op, out, v[i], use_float);
+    return out;
+}
+
+VecValue
+evalPerm(const VecValue &src, PermKind kind, unsigned block,
+         unsigned width)
+{
+    LIQUID_ASSERT(block >= 2 && block <= width && width % block == 0,
+                  "permutation block ", block, " illegal at width ", width);
+    VecValue out{};
+    for (unsigned i = 0; i < width; ++i) {
+        const unsigned base = (i / block) * block;
+        out[i] = src[base + permSourceLane(kind, block, i % block)];
+    }
+    return out;
+}
+
+VecValue
+evalMask(const VecValue &src, std::uint32_t bits, unsigned block,
+         unsigned width)
+{
+    LIQUID_ASSERT(block >= 1 && block <= width,
+                  "mask block ", block, " illegal at width ", width);
+    VecValue out{};
+    for (unsigned i = 0; i < width; ++i)
+        out[i] = ((bits >> (i % block)) & 1u) ? src[i] : 0;
+    return out;
+}
+
+PermKind
+permInverse(PermKind kind)
+{
+    switch (kind) {
+      case PermKind::SwapHalves:
+      case PermKind::SwapPairs:
+      case PermKind::Reverse:
+        return kind;  // involutions
+      case PermKind::RotUp:
+        return PermKind::RotDown;
+      case PermKind::RotDown:
+        return PermKind::RotUp;
+      case PermKind::NumKinds:
+        break;
+    }
+    panic("bad permutation kind");
+}
+
+} // namespace liquid

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Pure evaluation semantics for scalar and vector operations, shared by
+ * the core, the golden-model interpreters in tests, and the translator's
+ * verification logic. Float semantics are selected by the destination
+ * register class (paper-style `mult f2, f2, f0`); bitwise operations
+ * always act on raw bits.
+ */
+
+#ifndef LIQUID_CPU_EXEC_HH
+#define LIQUID_CPU_EXEC_HH
+
+#include "common/types.hh"
+#include "cpu/regfile.hh"
+#include "isa/instruction.hh"
+
+namespace liquid
+{
+
+/** Signed 16-bit saturation bounds used by qadd/qsub (audio-style). */
+inline constexpr SWord satMax = 32767;
+inline constexpr SWord satMin = -32768;
+
+/**
+ * Evaluate a scalar data-processing operation.
+ * @param use_float float semantics for the arithmetic subset.
+ */
+Word evalScalarOp(Opcode op, Word a, Word b, bool use_float);
+
+/** Compare for cmp: sign of (a - b), float-aware. */
+int evalCompare(Word a, Word b, bool use_float);
+
+/** Elementwise vector op over @p width lanes. */
+VecValue evalVectorOp(Opcode op, const VecValue &a, const VecValue &b,
+                      unsigned width, bool use_float);
+
+/** Vector op against a periodic constant vector. */
+VecValue evalVectorConstOp(Opcode op, const VecValue &a,
+                           const ConstVec &cv, unsigned width,
+                           bool use_float);
+
+/** Reduction: fold @p width lanes of @p v into @p acc. */
+Word evalReduction(Opcode red_op, Word acc, const VecValue &v,
+                   unsigned width, bool use_float);
+
+/** Block-periodic permutation. */
+VecValue evalPerm(const VecValue &src, PermKind kind, unsigned block,
+                  unsigned width);
+
+/** Lane masking: keep lane i iff bit (i % block) of @p bits is set. */
+VecValue evalMask(const VecValue &src, std::uint32_t bits, unsigned block,
+                  unsigned width);
+
+/** The inverse permutation kind (store-side permutations). */
+PermKind permInverse(PermKind kind);
+
+} // namespace liquid
+
+#endif // LIQUID_CPU_EXEC_HH

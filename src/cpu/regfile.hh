@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Architectural register state: 32 scalar registers (r0..r15, f0..f15),
+ * 32 vector registers (v0..v15, vf0..vf15) of up to 16 32-bit lanes,
+ * and the condition flags.
+ */
+
+#ifndef LIQUID_CPU_REGFILE_HH
+#define LIQUID_CPU_REGFILE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "isa/opcodes.hh"
+#include "isa/registers.hh"
+
+namespace liquid
+{
+
+/** Maximum SIMD width any accelerator configuration may use. */
+inline constexpr unsigned maxSimdWidth = 16;
+
+/** One vector register's lanes. */
+using VecValue = std::array<Word, maxSimdWidth>;
+
+/** Architectural register file. */
+class RegFile
+{
+  public:
+    RegFile() { reset(); }
+
+    void
+    reset()
+    {
+        scalars_.fill(0);
+        for (auto &v : vectors_)
+            v.fill(0);
+        cmpState_ = 0;
+    }
+
+    Word
+    read(RegId reg) const
+    {
+        LIQUID_ASSERT(reg.isScalar(), "scalar read of ", regName(reg));
+        return scalars_[scalarIndex(reg)];
+    }
+
+    void
+    write(RegId reg, Word value)
+    {
+        LIQUID_ASSERT(reg.isScalar(), "scalar write of ", regName(reg));
+        scalars_[scalarIndex(reg)] = value;
+    }
+
+    const VecValue &
+    readVec(RegId reg) const
+    {
+        LIQUID_ASSERT(reg.isVector(), "vector read of ", regName(reg));
+        return vectors_[vectorIndex(reg)];
+    }
+
+    void
+    writeVec(RegId reg, const VecValue &value)
+    {
+        LIQUID_ASSERT(reg.isVector(), "vector write of ", regName(reg));
+        vectors_[vectorIndex(reg)] = value;
+    }
+
+    /** Condition state from the last cmp: sign of (src1 - src2). */
+    int cmpState() const { return cmpState_; }
+    void setCmpState(int s) { cmpState_ = s; }
+
+    /** Evaluate a condition against the current flags. */
+    bool
+    condHolds(Cond cond) const
+    {
+        switch (cond) {
+          case Cond::AL: return true;
+          case Cond::EQ: return cmpState_ == 0;
+          case Cond::NE: return cmpState_ != 0;
+          case Cond::LT: return cmpState_ < 0;
+          case Cond::LE: return cmpState_ <= 0;
+          case Cond::GT: return cmpState_ > 0;
+          case Cond::GE: return cmpState_ >= 0;
+        }
+        return true;
+    }
+
+  private:
+    static unsigned
+    scalarIndex(RegId reg)
+    {
+        return (reg.cls() == RegClass::Flt ? regsPerClass : 0) + reg.idx();
+    }
+
+    static unsigned
+    vectorIndex(RegId reg)
+    {
+        return (reg.cls() == RegClass::VFlt ? regsPerClass : 0) + reg.idx();
+    }
+
+    std::array<Word, 2 * regsPerClass> scalars_;
+    std::array<VecValue, 2 * regsPerClass> vectors_;
+    int cmpState_ = 0;
+};
+
+} // namespace liquid
+
+#endif // LIQUID_CPU_REGFILE_HH

@@ -1,0 +1,249 @@
+#include "isa/encoding.hh"
+
+#include "common/bitfield.hh"
+
+namespace liquid
+{
+
+namespace
+{
+
+// Memory-operand literal indices are 6 bits; dp/vmask indices are
+// wider, but one shared bound keeps the pool model simple.
+constexpr unsigned maxLiterals = 64;
+
+unsigned
+encodeReg(RegId reg)
+{
+    // Validity is derivable from the opcode and format flag, so the
+    // full 6-bit space encodes real registers (vf15 is flat 63).
+    return reg.isValid() ? reg.flat() : 0u;
+}
+
+RegId
+decodeReg(unsigned field)
+{
+    return RegId::fromFlat(field);
+}
+
+bool
+fitsSigned(std::int64_t value, unsigned bits)
+{
+    const std::int64_t lo = -(1ll << (bits - 1));
+    const std::int64_t hi = (1ll << (bits - 1)) - 1;
+    return value >= lo && value <= hi;
+}
+
+} // namespace
+
+unsigned
+LiteralPool::intern(Word value)
+{
+    for (unsigned i = 0; i < values_.size(); ++i) {
+        if (values_[i] == value)
+            return i;
+    }
+    if (values_.size() >= maxLiterals)
+        fatal("literal pool overflow (", maxLiterals, " entries)");
+    values_.push_back(value);
+    return static_cast<unsigned>(values_.size()) - 1;
+}
+
+std::uint32_t
+encodeInst(const Inst &inst, LiteralPool &pool)
+{
+    std::uint32_t w = 0;
+    w = insertBits(w, 31, 26, static_cast<unsigned>(inst.op));
+    w = insertBits(w, 25, 23, static_cast<unsigned>(inst.cond));
+
+    const OpInfo &info = inst.info();
+
+    if (inst.isBranch()) {
+        if (inst.op != Opcode::Ret) {
+            LIQUID_ASSERT(fitsSigned(inst.target, 16),
+                          "branch target out of range");
+            w = insertBits(w, 22, 7,
+                           static_cast<std::uint32_t>(inst.target));
+        }
+        if (inst.op == Opcode::Bl) {
+            w = insertBits(w, 6, 6, inst.hinted);
+            if (inst.blWidthHint) {
+                LIQUID_ASSERT(isPowerOf2(inst.blWidthHint));
+                w = insertBits(w, 5, 3,
+                               log2i(inst.blWidthHint) + 1);
+            }
+        }
+        return w;
+    }
+
+    if (info.isLoad || info.isStore) {
+        const RegId data = info.isLoad ? inst.dst : inst.src1;
+        w = insertBits(w, 22, 17, encodeReg(data));
+        w = insertBits(w, 16, 11, encodeReg(inst.mem.index));
+        w = insertBits(w, 10, 5, pool.intern(inst.mem.base));
+        w = insertBits(w, 4, 4, inst.mem.index.isValid());
+        LIQUID_ASSERT(fitsSigned(inst.mem.disp, 4),
+                      "memory displacement out of range");
+        w = insertBits(w, 3, 0,
+                       static_cast<std::uint32_t>(inst.mem.disp));
+        return w;
+    }
+
+    if (inst.op == Opcode::Vperm) {
+        w = insertBits(w, 22, 17, encodeReg(inst.dst));
+        w = insertBits(w, 16, 11, encodeReg(inst.src1));
+        w = insertBits(w, 10, 8,
+                       static_cast<unsigned>(inst.permKind));
+        w = insertBits(w, 7, 5, log2i(inst.permBlock));
+        return w;
+    }
+
+    if (inst.op == Opcode::Vmask) {
+        w = insertBits(w, 22, 17, encodeReg(inst.dst));
+        w = insertBits(w, 16, 11, encodeReg(inst.src1));
+        const Word packed = (inst.maskBits << 8) | inst.maskBlock;
+        w = insertBits(w, 10, 4, pool.intern(packed));
+        return w;
+    }
+
+    if (info.isDataProc || inst.op == Opcode::Cmp ||
+        inst.op == Opcode::Mov) {
+        // Layout shared by mov/cmp/dp: f, dst, src1, tail.
+        unsigned f;
+        std::uint32_t tail;
+        if (inst.cvec != noCvec) {
+            f = 3;
+            LIQUID_ASSERT(inst.cvec < 512, "cvec id out of range");
+            tail = inst.cvec;
+        } else if (inst.hasImm) {
+            if (fitsSigned(inst.imm, 9)) {
+                f = 1;
+                tail = static_cast<std::uint32_t>(inst.imm) & 0x1FF;
+            } else {
+                f = 2;
+                tail = pool.intern(static_cast<Word>(inst.imm));
+            }
+        } else {
+            f = 0;
+            tail = encodeReg(inst.src2);
+        }
+        w = insertBits(w, 22, 21, f);
+        w = insertBits(w, 20, 15, encodeReg(inst.dst));
+        w = insertBits(w, 14, 9, encodeReg(inst.src1));
+        w = insertBits(w, 8, 0, tail);
+        return w;
+        // (invalid dst for cmp and invalid src1 for mov-immediate
+        // encode as 0; the decoder reconstructs them from the format)
+    }
+
+    // Nop / Halt: opcode + condition only.
+    return w;
+}
+
+Inst
+decodeInst(std::uint32_t w, const LiteralPool &pool)
+{
+    Inst inst;
+    inst.op = static_cast<Opcode>(bits(w, 31, 26));
+    LIQUID_ASSERT(inst.op < Opcode::NumOpcodes, "bad opcode field");
+    inst.cond = static_cast<Cond>(bits(w, 25, 23));
+    const OpInfo &info = inst.info();
+
+    if (inst.isBranch()) {
+        if (inst.op != Opcode::Ret)
+            inst.target = sext(bits(w, 22, 7), 16);
+        if (inst.op == Opcode::Bl) {
+            inst.hinted = bits(w, 6, 6);
+            const unsigned wfield = bits(w, 5, 3);
+            if (wfield)
+                inst.blWidthHint =
+                    static_cast<std::uint8_t>(1u << (wfield - 1));
+        }
+        return inst;
+    }
+
+    if (info.isLoad || info.isStore) {
+        const RegId data = decodeReg(bits(w, 22, 17));
+        if (info.isLoad)
+            inst.dst = data;
+        else
+            inst.src1 = data;
+        if (bits(w, 4, 4))
+            inst.mem.index = decodeReg(bits(w, 16, 11));
+        inst.mem.base = pool.get(bits(w, 10, 5));
+        inst.mem.disp = sext(bits(w, 3, 0), 4);
+        return inst;
+    }
+
+    if (inst.op == Opcode::Vperm) {
+        inst.dst = decodeReg(bits(w, 22, 17));
+        inst.src1 = decodeReg(bits(w, 16, 11));
+        inst.permKind = static_cast<PermKind>(bits(w, 10, 8));
+        inst.permBlock =
+            static_cast<std::uint8_t>(1u << bits(w, 7, 5));
+        return inst;
+    }
+
+    if (inst.op == Opcode::Vmask) {
+        inst.dst = decodeReg(bits(w, 22, 17));
+        inst.src1 = decodeReg(bits(w, 16, 11));
+        const Word packed = pool.get(bits(w, 10, 4));
+        inst.maskBits = packed >> 8;
+        inst.maskBlock = static_cast<std::uint8_t>(packed & 0xFF);
+        return inst;
+    }
+
+    if (info.isDataProc || inst.op == Opcode::Cmp ||
+        inst.op == Opcode::Mov) {
+        const unsigned f = bits(w, 22, 21);
+        if (inst.op != Opcode::Cmp)
+            inst.dst = decodeReg(bits(w, 20, 15));
+        const bool src1_valid =
+            !(inst.op == Opcode::Mov && f != 0);
+        if (src1_valid)
+            inst.src1 = decodeReg(bits(w, 14, 9));
+        const std::uint32_t tail = bits(w, 8, 0);
+        switch (f) {
+          case 0:
+            if (inst.op != Opcode::Mov)
+                inst.src2 = decodeReg(tail);
+            break;
+          case 1:
+            inst.hasImm = true;
+            inst.imm = sext(tail, 9);
+            break;
+          case 2:
+            inst.hasImm = true;
+            inst.imm = static_cast<std::int32_t>(pool.get(tail));
+            break;
+          case 3:
+            inst.cvec = tail;
+            break;
+        }
+        return inst;
+    }
+
+    return inst;  // Nop / Halt
+}
+
+EncodedProgram
+encodeProgram(const std::vector<Inst> &code)
+{
+    EncodedProgram out;
+    out.words.reserve(code.size());
+    for (const Inst &inst : code)
+        out.words.push_back(encodeInst(inst, out.literals));
+    return out;
+}
+
+std::vector<Inst>
+decodeProgram(const EncodedProgram &encoded)
+{
+    std::vector<Inst> out;
+    out.reserve(encoded.words.size());
+    for (const std::uint32_t w : encoded.words)
+        out.push_back(decodeInst(w, encoded.literals));
+    return out;
+}
+
+} // namespace liquid

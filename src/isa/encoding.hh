@@ -1,0 +1,89 @@
+/**
+ * @file
+ * 32-bit binary encoding of the instruction set.
+ *
+ * The paper sizes the microcode buffer at 32 bits per instruction
+ * (64 x 32 b = 256 B); this module provides a concrete encoding that
+ * round-trips every instruction the assembler, scalarizer and dynamic
+ * translator produce, demonstrating that the decoded Inst
+ * representation carries no hidden information beyond one word plus a
+ * shared literal table (for 32-bit base addresses and wide immediates
+ * — the moral equivalent of a literal pool / GOT).
+ *
+ * Layout (op: 6 bits [31:26], cond: 3 bits [25:23]):
+ *
+ *   data processing  f[22:21] dst[20:15] src1[14:9] tail[8:0]
+ *       f=0: tail = src2 register
+ *       f=1: tail = 9-bit signed immediate
+ *       f=2: tail = literal index of a wide immediate
+ *       f=3: tail = constant-vector pool id
+ *   memory           dst/src[22:17] index[16:11] baseLit[10:4]
+ *                    disp[3:0] (signed)
+ *   branch           target[22:7] (signed) hinted[6]
+ *                    log2(widthHint)[5:3]
+ *   vperm            dst[22:17] src[16:11] kind[10:8] log2(block)[7:5]
+ *   vmask            dst[22:17] src[16:11] maskLit[10:4]
+ *                    (literal packs bits<<8 | block)
+ */
+
+#ifndef LIQUID_ISA_ENCODING_HH
+#define LIQUID_ISA_ENCODING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace liquid
+{
+
+/** Shared literal pool built up during encoding. */
+class LiteralPool
+{
+  public:
+    /** Intern @p value; returns its index. fatal() past 128 entries. */
+    unsigned intern(Word value);
+
+    Word
+    get(unsigned index) const
+    {
+        LIQUID_ASSERT(index < values_.size(), "bad literal index");
+        return values_[index];
+    }
+
+    const std::vector<Word> &values() const { return values_; }
+
+  private:
+    std::vector<Word> values_;
+};
+
+/** Encode one instruction. fatal() on unencodable fields. */
+std::uint32_t encodeInst(const Inst &inst, LiteralPool &pool);
+
+/** Decode one instruction (symbols are not recoverable). */
+Inst decodeInst(std::uint32_t word, const LiteralPool &pool);
+
+/** A fully encoded code segment. */
+struct EncodedProgram
+{
+    std::vector<std::uint32_t> words;
+    LiteralPool literals;
+
+    /** Architectural size: code words + literal pool. */
+    std::size_t
+    sizeBytes() const
+    {
+        return (words.size() + literals.values().size()) * 4;
+    }
+};
+
+/** Encode a program's code segment (or any instruction sequence). */
+EncodedProgram encodeProgram(const std::vector<Inst> &code);
+
+/** Decode back to instructions. */
+std::vector<Inst> decodeProgram(const EncodedProgram &encoded);
+
+} // namespace liquid
+
+#endif // LIQUID_ISA_ENCODING_HH

@@ -1,0 +1,85 @@
+#include "isa/perm.hh"
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace liquid
+{
+
+const char *
+permKindName(PermKind kind)
+{
+    switch (kind) {
+      case PermKind::SwapHalves: return "bfly";
+      case PermKind::SwapPairs: return "swp";
+      case PermKind::Reverse: return "rev";
+      case PermKind::RotUp: return "rotu";
+      case PermKind::RotDown: return "rotd";
+      case PermKind::NumKinds: break;
+    }
+    return "?";
+}
+
+unsigned
+permSourceLane(PermKind kind, unsigned block, unsigned lane)
+{
+    LIQUID_ASSERT(isPowerOf2(block) && block >= 2);
+    LIQUID_ASSERT(lane < block);
+    switch (kind) {
+      case PermKind::SwapHalves:
+        return (lane + block / 2) % block;
+      case PermKind::SwapPairs:
+        return lane ^ 1u;
+      case PermKind::Reverse:
+        return block - 1 - lane;
+      case PermKind::RotUp:
+        return (lane + 1) % block;
+      case PermKind::RotDown:
+        return (lane + block - 1) % block;
+      case PermKind::NumKinds:
+        break;
+    }
+    panic("bad permutation kind");
+}
+
+std::vector<std::int32_t>
+permOffsets(PermKind kind, unsigned block)
+{
+    std::vector<std::int32_t> offsets(block);
+    for (unsigned i = 0; i < block; ++i) {
+        offsets[i] = static_cast<std::int32_t>(
+                         permSourceLane(kind, block, i)) -
+                     static_cast<std::int32_t>(i);
+    }
+    return offsets;
+}
+
+std::optional<PermMatch>
+permCamLookup(const std::vector<std::int32_t> &offsets, unsigned simd_width,
+              PermRepertoire repertoire)
+{
+    if (offsets.empty())
+        return std::nullopt;
+
+    // Prefer the smallest block that explains the observation so the
+    // translated permutation stays valid at every width >= block.
+    for (unsigned block = 2; block <= simd_width; block *= 2) {
+        if (offsets.size() % block != 0)
+            continue;
+        for (unsigned k = 0;
+             k < static_cast<unsigned>(PermKind::NumKinds); ++k) {
+            if (!((repertoire >> k) & 1u))
+                continue;  // not in this accelerator's opcode set
+            const auto kind = static_cast<PermKind>(k);
+            const auto pattern = permOffsets(kind, block);
+            bool match = true;
+            for (std::size_t i = 0; i < offsets.size() && match; ++i)
+                match = offsets[i] == pattern[i % block];
+            if (match)
+                return PermMatch{kind, block};
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace liquid

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Block-periodic lane permutations.
+ *
+ * The paper encodes element-reordering SIMD instructions (butterfly etc.)
+ * in the scalar representation as a read-only array of *offsets* added to
+ * the loop induction variable (Table 1, categories 7/8). The dynamic
+ * translator CAMs the observed offset pattern against the permutations the
+ * target SIMD accelerator supports and aborts on a miss.
+ *
+ * A permutation here is (kind, blockSize): it permutes lanes within each
+ * blockSize-lane block and repeats periodically. A width-W accelerator
+ * supports it iff blockSize <= W (blocks never straddle vectors because
+ * both are powers of two). This is exactly why a loop compiled around an
+ * 8-element butterfly gains nothing from a 16-wide accelerator while a
+ * 16-element butterfly is refused by an 8-wide one.
+ */
+
+#ifndef LIQUID_ISA_PERM_HH
+#define LIQUID_ISA_PERM_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace liquid
+{
+
+/** Supported permutation shapes (the accelerator's shuffle repertoire). */
+enum class PermKind : std::uint8_t
+{
+    SwapHalves,  ///< the paper's "butterfly": exchange block halves
+    SwapPairs,   ///< exchange adjacent even/odd lanes
+    Reverse,     ///< reverse lanes within the block
+    RotUp,       ///< lane i takes element i+1 (wrapping) — vext-style
+    RotDown,     ///< lane i takes element i-1 (wrapping)
+    NumKinds,
+};
+
+/** Printable name for a permutation kind. */
+const char *permKindName(PermKind kind);
+
+/**
+ * Source lane index within one block: a Vperm writes
+ * dst[i] = src[blockBase + permSourceLane(kind, block, i % block)].
+ */
+unsigned permSourceLane(PermKind kind, unsigned block, unsigned lane);
+
+/**
+ * The offset array the compiler emits for this permutation: entry i (for
+ * one period) is permSourceLane(i) - i, i.e. the value added to the
+ * induction variable before the load. Offsets, not absolute indices,
+ * keep the scalar representation width-independent (paper Section 3.2).
+ */
+std::vector<std::int32_t> permOffsets(PermKind kind, unsigned block);
+
+/**
+ * The translator's permutation CAM: matches an observed offset sequence
+ * (one full period, starting at lane 0) against every (kind, block)
+ * pattern with block <= simdWidth. Returns the match or nullopt (abort).
+ */
+struct PermMatch
+{
+    PermKind kind;
+    unsigned block;
+};
+
+/** Bitmask of supported PermKinds (bit i = kind i). */
+using PermRepertoire = std::uint32_t;
+
+/** Every permutation kind: the newest accelerator generation. */
+inline constexpr PermRepertoire allPerms =
+    (1u << static_cast<unsigned>(PermKind::NumKinds)) - 1;
+
+/** Convenience: a repertoire containing the given kinds. */
+constexpr PermRepertoire
+permSet(std::initializer_list<PermKind> kinds)
+{
+    PermRepertoire r = 0;
+    for (const PermKind k : kinds)
+        r |= 1u << static_cast<unsigned>(k);
+    return r;
+}
+
+std::optional<PermMatch>
+permCamLookup(const std::vector<std::int32_t> &offsets, unsigned simdWidth,
+              PermRepertoire repertoire = allPerms);
+
+} // namespace liquid
+
+#endif // LIQUID_ISA_PERM_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Flat functional memory backing the simulated system. Timing lives in
+ * the cache models and the core; this class only stores bytes.
+ */
+
+#ifndef LIQUID_MEMORY_MAIN_MEMORY_HH
+#define LIQUID_MEMORY_MAIN_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace liquid
+{
+
+class Program;
+
+/** Byte-addressable simulated memory. */
+class MainMemory
+{
+  public:
+    /** Create a memory covering [0, size) bytes. */
+    explicit MainMemory(std::size_t size);
+
+    /** Build a memory sized for @p prog and load its data image. */
+    static MainMemory forProgram(const Program &prog,
+                                 std::size_t slack = 1 << 16);
+
+    /** Copy a program's static data image into place. */
+    void loadProgram(const Program &prog);
+
+    std::uint8_t readByte(Addr addr) const;
+    std::uint16_t readHalf(Addr addr) const;
+    Word readWord(Addr addr) const;
+
+    void writeByte(Addr addr, std::uint8_t value);
+    void writeHalf(Addr addr, std::uint16_t value);
+    void writeWord(Addr addr, Word value);
+
+    /**
+     * Read one element of @p size bytes (1/2/4), zero- or sign-extended
+     * into a register word.
+     */
+    Word readElem(Addr addr, unsigned size, bool sign_extend) const;
+
+    /** Write the low @p size bytes of @p value. */
+    void writeElem(Addr addr, unsigned size, Word value);
+
+    std::size_t size() const { return bytes_.size(); }
+
+  private:
+    void check(Addr addr, unsigned size) const;
+
+    std::vector<std::uint8_t> bytes_;
+};
+
+} // namespace liquid
+
+#endif // LIQUID_MEMORY_MAIN_MEMORY_HH

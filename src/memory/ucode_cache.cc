@@ -1,0 +1,80 @@
+#include "memory/ucode_cache.hh"
+
+#include "common/logging.hh"
+
+namespace liquid
+{
+
+UcodeCache::UcodeCache(const UcodeCacheConfig &config)
+    : config_(config), stats_("ucodeCache")
+{
+    LIQUID_ASSERT(config_.entries >= 1);
+}
+
+void
+UcodeCache::insert(UcodeEntry entry)
+{
+    LIQUID_ASSERT(entry.insts.size() <= config_.maxInsts,
+                  "oversized microcode region must be aborted upstream");
+
+    // Replace any stale translation of the same region.
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->entryAddr == entry.entryAddr) {
+            entries_.erase(it);
+            stats_.inc("replacements");
+            break;
+        }
+    }
+
+    if (entries_.size() >= config_.entries) {
+        entries_.pop_back();  // LRU lives at the tail
+        stats_.inc("evictions");
+    }
+    entries_.push_front(std::move(entry));
+    stats_.inc("inserts");
+}
+
+const UcodeEntry *
+UcodeCache::lookup(Addr entry_addr, Cycles now)
+{
+    stats_.inc("lookups");
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->entryAddr != entry_addr)
+            continue;
+        if (it->readyAt > now) {
+            stats_.inc("notReadyMisses");
+            return nullptr;
+        }
+        stats_.inc("hits");
+        entries_.splice(entries_.begin(), entries_, it);
+        return &entries_.front();
+    }
+    stats_.inc("misses");
+    return nullptr;
+}
+
+bool
+UcodeCache::contains(Addr entry_addr) const
+{
+    for (const auto &e : entries_) {
+        if (e.entryAddr == entry_addr)
+            return true;
+    }
+    return false;
+}
+
+void
+UcodeCache::flush()
+{
+    entries_.clear();
+}
+
+void
+UcodeCache::warmStartFrom(const UcodeCache &other)
+{
+    entries_ = other.entries_;
+    for (auto &entry : entries_)
+        entry.readyAt = 0;
+}
+
+} // namespace liquid

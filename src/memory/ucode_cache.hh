@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Microcode cache: stores dynamically translated SIMD instruction
+ * sequences, keyed by the entry address of the outlined scalar function
+ * they replace (paper Figure 1 / Section 5 "Dynamic Translation
+ * Requirements": 8 entries of 64 SIMD instructions, a 2 KB SRAM).
+ */
+
+#ifndef LIQUID_MEMORY_UCODE_CACHE_HH
+#define LIQUID_MEMORY_UCODE_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace liquid
+{
+
+/** One translated region. */
+struct UcodeEntry
+{
+    Addr entryAddr = invalidAddr;   ///< outlined function entry
+    std::vector<Inst> insts;        ///< SIMD microcode (self-contained)
+    std::vector<ConstVec> cvecs;    ///< constants discovered at runtime
+    unsigned simdWidth = 0;         ///< width the ucode was bound to
+    Cycles readyAt = 0;             ///< first cycle it may be fetched
+};
+
+/** Geometry of the microcode cache. */
+struct UcodeCacheConfig
+{
+    unsigned entries = 8;
+    unsigned maxInsts = 64;
+};
+
+/** Fully associative LRU microcode cache. */
+class UcodeCache
+{
+  public:
+    explicit UcodeCache(const UcodeCacheConfig &config);
+
+    /**
+     * Insert a translated region, evicting the LRU entry when full.
+     * panic()s if the entry exceeds maxInsts (the translator is
+     * responsible for aborting oversized regions).
+     */
+    void insert(UcodeEntry entry);
+
+    /**
+     * Look up a region by entry address. Returns nullptr on miss or
+     * when the entry is not yet ready at cycle @p now.
+     * A hit refreshes LRU order.
+     */
+    const UcodeEntry *lookup(Addr entry_addr, Cycles now);
+
+    /** True if the address is present, ready or not. No LRU update. */
+    bool contains(Addr entry_addr) const;
+
+    /** Drop all entries. */
+    void flush();
+
+    /**
+     * Copy another cache's entries, marking them ready immediately.
+     * Models a processor with built-in ISA support for the regions
+     * (the paper's Figure 6 callout eliminates control generation).
+     */
+    void warmStartFrom(const UcodeCache &other);
+
+    const UcodeCacheConfig &config() const { return config_; }
+    const StatGroup &stats() const { return stats_; }
+    StatGroup &stats() { return stats_; }
+
+  private:
+    UcodeCacheConfig config_;
+    /** MRU-first list of entries. */
+    std::list<UcodeEntry> entries_;
+    StatGroup stats_;
+};
+
+} // namespace liquid
+
+#endif // LIQUID_MEMORY_UCODE_CACHE_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Kernel code generators — the compiler half of Liquid SIMD.
+ *
+ * From one vir::Kernel three lowerings are produced:
+ *
+ *  - Scalarized (paper Section 3): the width-independent scalar
+ *    representation. One scalar loop per fission stage, permutations
+ *    realized as offset arrays at memory boundaries, per-lane constants
+ *    and masks as read-only arrays, reductions as loop-carried
+ *    registers, saturating ops as cmp/mov idioms, the whole region
+ *    outlined behind a bl so the dynamic translator can find it.
+ *  - Native: direct SIMD instructions for a concrete accelerator
+ *    width (the paper's "built-in ISA support" comparison).
+ *  - InlineScalar: the scalar representation emitted inline without
+ *    outlining — the paper's no-accelerator baseline.
+ *
+ * Loop fission (paper Section 3.4): a permutation of a *computed* value
+ * that is not consumed directly by stores ends its stage; the permuted
+ * value crosses to the next stage through a compiler temporary array
+ * with the permutation applied by the store's offset indexing, exactly
+ * like lines 18-20 / 24-30 of paper Figure 4(B).
+ */
+
+#ifndef LIQUID_SCALARIZER_SCALARIZER_HH
+#define LIQUID_SCALARIZER_SCALARIZER_HH
+
+#include <string>
+
+#include "asm/program.hh"
+#include "scalarizer/vir.hh"
+
+namespace liquid
+{
+
+/** Code-generation options. */
+struct EmitOptions
+{
+    enum class Mode
+    {
+        Scalarized,   ///< outlined scalar representation
+        Native,       ///< direct SIMD code for nativeWidth lanes
+        InlineScalar, ///< scalar representation, not outlined
+    };
+    Mode mode = Mode::Scalarized;
+    unsigned nativeWidth = 8;
+    bool hinted = true;       ///< mark the region with bl.simd
+    std::string fnName;       ///< defaults to the kernel name
+};
+
+/** Code-generation outputs. */
+struct EmitResult
+{
+    std::string entryLabel;   ///< call target; empty in inline mode
+    unsigned instCount = 0;   ///< instructions emitted for the region
+    unsigned numStages = 1;   ///< fissioned scalar loops
+    /** Registers holding each reduction accumulator after the region. */
+    std::vector<RegId> accRegs;
+};
+
+/**
+ * Lower @p kernel into @p prog. Validates the kernel first; throws
+ * FatalError with diagnostics for unsupported constructs (VTBL,
+ * interleaving, illegal in-stage aliasing, register pressure).
+ */
+EmitResult emitKernel(Program &prog, const vir::Kernel &kernel,
+                      const EmitOptions &opts);
+
+} // namespace liquid
+
+#endif // LIQUID_SCALARIZER_SCALARIZER_HH

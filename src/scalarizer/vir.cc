@@ -1,0 +1,257 @@
+#include "scalarizer/vir.hh"
+
+#include <set>
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+#include "cpu/regfile.hh"
+
+namespace liquid::vir
+{
+
+Kernel::Kernel(std::string name, unsigned trip_count, unsigned max_width)
+    : name_(std::move(name)), tripCount_(trip_count), maxWidth_(max_width)
+{
+}
+
+int
+Kernel::newValue(bool is_float, unsigned elem_size)
+{
+    values_.push_back(ValueInfo{is_float, elem_size});
+    return static_cast<int>(values_.size()) - 1;
+}
+
+int
+Kernel::load(const std::string &array, unsigned elem_size, bool is_float,
+             bool is_signed, std::int32_t disp)
+{
+    VInst v;
+    v.k = OpK::Load;
+    v.array = array;
+    v.elemSize = elem_size;
+    v.isSigned = is_signed;
+    v.disp = disp;
+    v.dst = newValue(is_float, elem_size);
+    body_.push_back(std::move(v));
+    return body_.back().dst;
+}
+
+void
+Kernel::store(const std::string &array, int value, std::int32_t disp)
+{
+    VInst v;
+    v.k = OpK::Store;
+    v.array = array;
+    v.a = value;
+    v.disp = disp;
+    v.elemSize = values_.at(value).elemSize;
+    body_.push_back(std::move(v));
+}
+
+int
+Kernel::bin(Opcode op, int a, int b)
+{
+    VInst v;
+    v.k = OpK::Bin;
+    v.op = op;
+    v.a = a;
+    v.b = b;
+    const bool is_float =
+        values_.at(a).isFloat || values_.at(b).isFloat;
+    v.dst = newValue(is_float,
+                     std::max(values_.at(a).elemSize,
+                              values_.at(b).elemSize));
+    body_.push_back(std::move(v));
+    return body_.back().dst;
+}
+
+int
+Kernel::binImm(Opcode op, int a, std::int32_t imm)
+{
+    VInst v;
+    v.k = OpK::BinImm;
+    v.op = op;
+    v.a = a;
+    v.imm = imm;
+    v.dst = newValue(values_.at(a).isFloat, values_.at(a).elemSize);
+    body_.push_back(std::move(v));
+    return body_.back().dst;
+}
+
+int
+Kernel::binConst(Opcode op, int a, std::vector<Word> lanes)
+{
+    VInst v;
+    v.k = OpK::BinConst;
+    v.op = op;
+    v.a = a;
+    v.lanes = std::move(lanes);
+    v.dst = newValue(values_.at(a).isFloat, values_.at(a).elemSize);
+    body_.push_back(std::move(v));
+    return body_.back().dst;
+}
+
+int
+Kernel::perm(int a, PermKind kind, unsigned block)
+{
+    VInst v;
+    v.k = OpK::Perm;
+    v.a = a;
+    v.permKind = kind;
+    v.permBlock = block;
+    v.dst = newValue(values_.at(a).isFloat, values_.at(a).elemSize);
+    body_.push_back(std::move(v));
+    return body_.back().dst;
+}
+
+int
+Kernel::mask(int a, std::uint32_t bits, unsigned block)
+{
+    VInst v;
+    v.k = OpK::Mask;
+    v.a = a;
+    v.maskBits = bits;
+    v.maskBlock = block;
+    v.dst = newValue(values_.at(a).isFloat, values_.at(a).elemSize);
+    body_.push_back(std::move(v));
+    return body_.back().dst;
+}
+
+int
+Kernel::newAcc(const std::string &name, Opcode op, Word init,
+               bool is_float)
+{
+    accs_.push_back(Accum{name, op, init, is_float});
+    return static_cast<int>(accs_.size()) - 1;
+}
+
+void
+Kernel::reduce(int acc, int value)
+{
+    LIQUID_ASSERT(acc >= 0 &&
+                  static_cast<std::size_t>(acc) < accs_.size());
+    VInst v;
+    v.k = OpK::Red;
+    v.op = accs_[acc].op;
+    v.acc = acc;
+    v.a = value;
+    body_.push_back(std::move(v));
+}
+
+void
+Kernel::setFloat(int value, bool is_float)
+{
+    values_.at(value).isFloat = is_float;
+}
+
+int
+Kernel::tableLookup(int indices, int table)
+{
+    VInst v;
+    v.k = OpK::TableLookup;
+    v.a = indices;
+    v.b = table;
+    v.dst = newValue(false, 4);
+    body_.push_back(std::move(v));
+    return body_.back().dst;
+}
+
+int
+Kernel::interleavedLoad(const std::string &array, unsigned stride)
+{
+    VInst v;
+    v.k = OpK::InterleavedLoad;
+    v.array = array;
+    v.imm = static_cast<std::int32_t>(stride);
+    v.dst = newValue(false, 4);
+    body_.push_back(std::move(v));
+    return body_.back().dst;
+}
+
+void
+Kernel::validate() const
+{
+    if (!isPowerOf2(maxWidth_) || maxWidth_ < 2 ||
+        maxWidth_ > maxSimdWidth)
+        fatal("kernel '", name_, "': bad maxWidth ", maxWidth_);
+    if (tripCount_ == 0 || tripCount_ % maxWidth_ != 0) {
+        fatal("kernel '", name_, "': trip count ", tripCount_,
+              " is not a multiple of the compiled width ", maxWidth_,
+              " (the compiler aligns data to the maximum vectorizable "
+              "length, paper Section 3.1)");
+    }
+
+    std::set<int> defined;
+    auto checkUse = [&](int v, const char *what) {
+        if (v < 0 || static_cast<std::size_t>(v) >= values_.size() ||
+            !defined.count(v))
+            fatal("kernel '", name_, "': use of undefined ", what);
+    };
+
+    for (const VInst &v : body_) {
+        switch (v.k) {
+          case OpK::TableLookup:
+            fatal("kernel '", name_, "': VTBL-style table lookups have "
+                  "no width-independent scalar representation (the "
+                  "induction-variable offset is unknown until runtime; "
+                  "paper Section 3.3)");
+          case OpK::InterleavedLoad:
+            fatal("kernel '", name_, "': interleaved memory accesses "
+                  "have no scalar equivalent (paper Section 3.3)");
+          case OpK::Load:
+            if (v.elemSize != 1 && v.elemSize != 2 && v.elemSize != 4)
+                fatal("kernel '", name_, "': bad element size");
+            break;
+          case OpK::Store:
+            checkUse(v.a, "store operand");
+            break;
+          case OpK::Bin:
+            checkUse(v.a, "operand");
+            checkUse(v.b, "operand");
+            if (opInfo(v.op).vectorEquiv == Opcode::Nop)
+                fatal("kernel '", name_, "': opcode ", opName(v.op),
+                      " has no vector equivalent");
+            break;
+          case OpK::BinImm:
+          case OpK::BinConst:
+            checkUse(v.a, "operand");
+            if (opInfo(v.op).vectorEquiv == Opcode::Nop)
+                fatal("kernel '", name_, "': opcode ", opName(v.op),
+                      " has no vector equivalent");
+            if (v.k == OpK::BinConst &&
+                (v.lanes.empty() || v.lanes.size() > maxWidth_ ||
+                 !isPowerOf2(v.lanes.size())))
+                fatal("kernel '", name_,
+                      "': constant period must be a power of two <= "
+                      "maxWidth");
+            break;
+          case OpK::Perm:
+            checkUse(v.a, "permutation operand");
+            if (v.permBlock < 2 || v.permBlock > maxWidth_ ||
+                !isPowerOf2(v.permBlock))
+                fatal("kernel '", name_, "': permutation block ",
+                      v.permBlock, " illegal for maxWidth ", maxWidth_);
+            break;
+          case OpK::Mask:
+            checkUse(v.a, "mask operand");
+            if (v.maskBlock < 1 || v.maskBlock > maxWidth_ ||
+                !isPowerOf2(v.maskBlock))
+                fatal("kernel '", name_, "': mask block illegal");
+            break;
+          case OpK::Red:
+            checkUse(v.a, "reduction operand");
+            if (opInfo(accs_.at(v.acc).op).reductionEquiv == Opcode::Nop)
+                fatal("kernel '", name_, "': opcode ",
+                      opName(accs_.at(v.acc).op),
+                      " is not a supported reduction");
+            break;
+        }
+        if (v.dst >= 0) {
+            if (defined.count(v.dst))
+                fatal("kernel '", name_, "': value defined twice");
+            defined.insert(v.dst);
+        }
+    }
+}
+
+} // namespace liquid::vir

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Vector intermediate representation.
+ *
+ * A vir::Kernel describes one SIMD hot loop the way the paper's
+ * hand-SIMDized assembly does (Figure 4(A)): a straight-line dataflow
+ * body that consumes and produces memory arrays, executed once per
+ * vector of elements. The scalarizer lowers a kernel three ways:
+ *
+ *  - the Liquid SIMD scalar representation (paper Table 1), outlined;
+ *  - native SIMD code for a concrete accelerator width;
+ *  - plain inline scalar code (the paper's no-accelerator baseline).
+ *
+ * Values are SSA ids; loads/stores reference named arrays in the
+ * program's data segment with element-granular displacements.
+ */
+
+#ifndef LIQUID_SCALARIZER_VIR_HH
+#define LIQUID_SCALARIZER_VIR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace liquid::vir
+{
+
+/** Kinds of vector-IR operations. */
+enum class OpK : std::uint8_t
+{
+    Load,      ///< dst = array[i + disp ...]
+    Store,     ///< array[i + disp ...] = a
+    Bin,       ///< dst = op(a, b) elementwise
+    BinImm,    ///< dst = op(a, #imm) elementwise
+    BinConst,  ///< dst = op(a, periodic constant vector)
+    Perm,      ///< dst = block permutation of a
+    Mask,      ///< dst = lane-mask of a
+    Red,       ///< acc = op(acc, lanes of a)
+    // Unsupported by the scalar representation (paper Section 3.3);
+    // present so the legality checker can reject them with diagnostics.
+    TableLookup,
+    InterleavedLoad,
+};
+
+/** One vector-IR operation. */
+struct VInst
+{
+    OpK k = OpK::Bin;
+    Opcode op = Opcode::Add;   ///< scalar opcode for Bin*/Red
+    int dst = -1;
+    int a = -1;
+    int b = -1;
+    std::string array;         ///< Load/Store target
+    std::int32_t disp = 0;     ///< element displacement
+    unsigned elemSize = 4;
+    bool isSigned = false;
+    std::int32_t imm = 0;      ///< BinImm operand
+    std::vector<Word> lanes;   ///< BinConst periodic constant
+    PermKind permKind = PermKind::SwapHalves;
+    unsigned permBlock = 0;
+    std::uint32_t maskBits = 0;
+    unsigned maskBlock = 0;
+    int acc = -1;              ///< Red accumulator id
+};
+
+/** Per-value metadata. */
+struct ValueInfo
+{
+    bool isFloat = false;
+    unsigned elemSize = 4;
+};
+
+/** A reduction accumulator, exposed in a scalar register after the call. */
+struct Accum
+{
+    std::string name;
+    Opcode op = Opcode::Add;   ///< Add / Min / Max
+    Word init = 0;
+    bool isFloat = false;
+};
+
+/** One SIMD hot loop. */
+class Kernel
+{
+  public:
+    Kernel(std::string name, unsigned trip_count, unsigned max_width = 16);
+
+    const std::string &name() const { return name_; }
+    unsigned tripCount() const { return tripCount_; }
+    unsigned maxWidth() const { return maxWidth_; }
+
+    const std::vector<VInst> &body() const { return body_; }
+    const std::vector<ValueInfo> &values() const { return values_; }
+    const std::vector<Accum> &accs() const { return accs_; }
+
+    // ---- builder API -----------------------------------------------------
+
+    /** Load elements of @p array (elemSize 1/2/4). */
+    int load(const std::string &array, unsigned elem_size = 4,
+             bool is_float = false, bool is_signed = false,
+             std::int32_t disp = 0);
+
+    /** Store @p value into @p array. */
+    void store(const std::string &array, int value, std::int32_t disp = 0);
+
+    /** Elementwise binary op (Add/Sub/Mul/And/.../Qadd). */
+    int bin(Opcode op, int a, int b);
+
+    /** Elementwise op with a scalar immediate. */
+    int binImm(Opcode op, int a, std::int32_t imm);
+
+    /** Elementwise op with a periodic per-lane constant. */
+    int binConst(Opcode op, int a, std::vector<Word> lanes);
+
+    /** Block permutation. */
+    int perm(int a, PermKind kind, unsigned block);
+
+    /** Lane mask (keep lane i iff bit i%block set). */
+    int mask(int a, std::uint32_t bits, unsigned block);
+
+    /** Declare a reduction accumulator. */
+    int newAcc(const std::string &name, Opcode op, Word init,
+               bool is_float = false);
+
+    /** Fold @p value into accumulator @p acc. */
+    void reduce(int acc, int value);
+
+    /** Mark a value's class explicitly (rarely needed). */
+    void setFloat(int value, bool is_float);
+
+    // Unsupported constructs, for legality testing (paper Section 3.3).
+    int tableLookup(int indices, int table);
+    int interleavedLoad(const std::string &array, unsigned stride);
+
+    /**
+     * Validate the kernel: SSA discipline, operand classes, permutation
+     * and mask blocks within maxWidth, trip count a multiple of
+     * maxWidth, no unsupported constructs. Throws FatalError with a
+     * diagnostic on violation.
+     */
+    void validate() const;
+
+  private:
+    int newValue(bool is_float, unsigned elem_size);
+
+    std::string name_;
+    unsigned tripCount_;
+    unsigned maxWidth_;
+    std::vector<VInst> body_;
+    std::vector<ValueInfo> values_;
+    std::vector<Accum> accs_;
+};
+
+} // namespace liquid::vir
+
+#endif // LIQUID_SCALARIZER_VIR_HH

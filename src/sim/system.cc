@@ -1,0 +1,65 @@
+#include "sim/system.hh"
+
+#include "translator/offline.hh"
+
+namespace liquid
+{
+
+SystemConfig
+SystemConfig::make(ExecMode mode, unsigned width)
+{
+    SystemConfig config;
+    config.mode = mode;
+    config.simdWidth = width;
+    switch (mode) {
+      case ExecMode::ScalarBaseline:
+        config.core.simdWidth = 0;
+        config.core.translationEnabled = false;
+        break;
+      case ExecMode::Liquid:
+        config.core.simdWidth = width;
+        config.core.translationEnabled = true;
+        config.translator.simdWidth = width;
+        break;
+      case ExecMode::NativeSimd:
+        config.core.simdWidth = width;
+        config.core.translationEnabled = false;
+        break;
+    }
+    return config;
+}
+
+System::System(const SystemConfig &config, const Program &prog)
+    : config_(config), prog_(prog),
+      mem_(MainMemory::forProgram(prog)), ucache_(config.ucodeCache)
+{
+    core_ = std::make_unique<Core>(config_.core, prog_, mem_);
+
+    if (config_.mode == ExecMode::Liquid) {
+        if (config_.pretranslate)
+            pretranslateProgram(prog_, config_.simdWidth, ucache_);
+        translator_ =
+            std::make_unique<Translator>(config_.translator, prog_,
+                                         ucache_);
+        core_->setRetireSink(translator_.get());
+        core_->setUcodeLookup([this](Addr entry, Cycles now) {
+            return ucache_.lookup(entry, now);
+        });
+    }
+}
+
+void
+System::run()
+{
+    core_->run();
+}
+
+Cycles
+runProgram(const Program &prog, const SystemConfig &config)
+{
+    System sys(config, prog);
+    sys.run();
+    return sys.cycles();
+}
+
+} // namespace liquid

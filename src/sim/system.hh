@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Top-level simulated system: core + caches + microcode cache + dynamic
+ * translator, wired as in paper Figure 1.
+ */
+
+#ifndef LIQUID_SIM_SYSTEM_HH
+#define LIQUID_SIM_SYSTEM_HH
+
+#include <memory>
+
+#include "asm/program.hh"
+#include "cpu/core.hh"
+#include "memory/main_memory.hh"
+#include "memory/ucode_cache.hh"
+#include "translator/translator.hh"
+
+namespace liquid
+{
+
+/** How a program is executed. */
+enum class ExecMode
+{
+    ScalarBaseline,  ///< no SIMD accelerator (paper's speedup baseline)
+    Liquid,          ///< SIMD accelerator driven by dynamic translation
+    NativeSimd,      ///< SIMD accelerator with native SIMD instructions
+};
+
+/** Complete system configuration. */
+struct SystemConfig
+{
+    ExecMode mode = ExecMode::Liquid;
+    unsigned simdWidth = 8;         ///< ignored for ScalarBaseline
+    CoreConfig core{};
+    TranslatorConfig translator{};
+    UcodeCacheConfig ucodeCache{};
+
+    /**
+     * Liquid mode: statically bind every hinted region before the
+     * program starts (offline binary translation, paper Section 2)
+     * instead of translating at runtime.
+     */
+    bool pretranslate = false;
+
+    /** Convenience constructor applying the mode/width coupling. */
+    static SystemConfig make(ExecMode mode, unsigned width = 8);
+};
+
+/** A runnable system instance bound to one program. */
+class System
+{
+  public:
+    System(const SystemConfig &config, const Program &prog);
+
+    /** Run to completion (halt). */
+    void run();
+
+    Core &core() { return *core_; }
+    const Core &core() const { return *core_; }
+    MainMemory &memory() { return mem_; }
+    const MainMemory &memory() const { return mem_; }
+    Translator &translator() { return *translator_; }
+    const Translator &translator() const { return *translator_; }
+    UcodeCache &ucodeCache() { return ucache_; }
+
+    Cycles cycles() const { return core_->cycles(); }
+
+    const SystemConfig &config() const { return config_; }
+
+  private:
+    SystemConfig config_;
+    const Program &prog_;
+    MainMemory mem_;
+    UcodeCache ucache_;
+    std::unique_ptr<Translator> translator_;
+    std::unique_ptr<Core> core_;
+};
+
+/** Run @p prog under @p config and return the elapsed cycles. */
+Cycles runProgram(const Program &prog, const SystemConfig &config);
+
+} // namespace liquid
+
+#endif // LIQUID_SIM_SYSTEM_HH

@@ -1,0 +1,89 @@
+#include "translator/cost_model.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/bitfield.hh"
+
+namespace liquid
+{
+
+namespace
+{
+
+// Calibration constants (90 nm standard cell, fitted to paper Table 2
+// and the component breakdown in Section 4.1; see header comment).
+constexpr std::uint64_t decoderCells = 3000;      // "a few thousand"
+constexpr std::uint64_t legalityCells = 400;      // "a few hundred"
+constexpr std::uint64_t opcodeGenCells = 9000;    // "approximately 9000"
+constexpr std::uint64_t cellsPerStateBit = 60;    // flop + value MUXes
+constexpr std::uint64_t cellsPerBufferBit = 20;   // register array
+constexpr std::uint64_t alignCellsPerInst = 563;  // collapse network
+constexpr std::uint64_t miscControlCells = 28085; // sequencing/intercon.
+constexpr std::uint64_t camCellsPerBit = 6;
+constexpr double gateDelayNs = 1.51 / 16.0;       // FO4-ish @ 90 nm
+constexpr double cellAreaUm2 = 1.1;
+
+} // namespace
+
+CostModelResult
+evalCostModel(const CostModelParams &params)
+{
+    CostModelResult r;
+
+    // Per-register state: kind (3b), element size (2b), flags (3b), and
+    // one small value per lane — 56 bits at width 8, as in the paper.
+    r.regStateBitsPerReg = 8 + params.simdWidth * params.valueBits;
+    r.regStateBits =
+        static_cast<std::uint64_t>(r.regStateBitsPerReg) * params.numRegs;
+
+    r.decoderCells = decoderCells;
+    r.legalityCells = legalityCells;
+    r.regStateCells = r.regStateBits * cellsPerStateBit;
+    r.opcodeGenCells = opcodeGenCells;
+    r.camCells = static_cast<std::uint64_t>(params.camEntries) *
+                 params.simdWidth * params.valueBits * camCellsPerBit;
+    r.ucodeBufferCells =
+        static_cast<std::uint64_t>(params.ucodeInsts) *
+            params.ucodeInstBits * cellsPerBufferBit +
+        static_cast<std::uint64_t>(params.ucodeInsts) * alignCellsPerInst;
+
+    r.totalCells = r.decoderCells + r.legalityCells + r.regStateCells +
+                   r.opcodeGenCells + r.camCells + r.ucodeBufferCells +
+                   miscControlCells;
+
+    // Critical path: 5 gates of partial decode plus the register-state
+    // read-modify path, which grows with the lane-select mux depth.
+    const unsigned lane_levels =
+        params.simdWidth > 1
+            ? static_cast<unsigned>(std::log2(params.simdWidth))
+            : 0;
+    r.critPathGates = 5 + 8 + lane_levels;
+    r.critPathNs = r.critPathGates * gateDelayNs;
+    r.freqMhz = 1000.0 / r.critPathNs;
+    r.areaMm2 = static_cast<double>(r.totalCells) * cellAreaUm2 * 1e-6;
+    return r;
+}
+
+std::string
+costModelReport(const CostModelParams &params, const CostModelResult &r)
+{
+    std::ostringstream os;
+    os << params.simdWidth << "-wide Translator: crit path "
+       << r.critPathGates << " gates, " << r.critPathNs << " ns ("
+       << r.freqMhz << " MHz), " << r.totalCells << " cells, "
+       << r.areaMm2 << " mm^2\n"
+       << "  register state: " << r.regStateBitsPerReg << " b/reg x "
+       << params.numRegs << " regs = " << r.regStateBits << " b, "
+       << r.regStateCells << " cells\n"
+       << "  partial decoder: " << r.decoderCells
+       << " cells; legality: " << r.legalityCells
+       << " cells; opcode gen: " << r.opcodeGenCells << " cells\n"
+       << "  permutation CAM: " << r.camCells
+       << " cells; ucode buffer (" << params.ucodeInsts << " x "
+       << params.ucodeInstBits << " b + alignment network): "
+       << r.ucodeBufferCells << " cells\n";
+    return os.str();
+}
+
+} // namespace liquid

@@ -1,0 +1,1017 @@
+/**
+ * @file
+ * The fifteen-benchmark suite from the paper's evaluation (Section 5):
+ * SPECfp92 (052.alvinn, 056.ear, 093.nasa7), SPECfp95 (101.tomcatv,
+ * 104.hydro2d), SPECfp2000 (171.swim, 172.mgrid, 179.art), MediaBench
+ * (MPEG2 encode/decode, GSM encode/decode) and signal-processing
+ * kernels (LU, FIR, FFT).
+ *
+ * SPEC and MediaBench sources/inputs are proprietary, so each workload
+ * reproduces the documented *hot-loop structure* of its benchmark (see
+ * DESIGN.md substitution 3): the paper only SIMDizes hot loops of 11-62
+ * scalar instructions (Table 5), and reports behaviour we mirror here —
+ * 179.art thrashes the 16 KB data cache, the MPEG2 loops operate on
+ * 8-element vectors and stop scaling past width 8, GSM uses saturating
+ * arithmetic idioms, FIR is almost fully vectorizable, and the FFT
+ * kernel is the paper's own running example (Figures 2-4).
+ */
+
+#include "workloads/workload.hh"
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace liquid
+{
+
+namespace
+{
+
+using vir::Kernel;
+
+/** Pad arrays so displaced loads stay in bounds. */
+constexpr unsigned pad = 16;
+
+// ---------------------------------------------------------------------------
+// 052.alvinn — MLP layer forward pass: dot products (reductions).
+// ---------------------------------------------------------------------------
+
+class Alvinn : public Workload
+{
+  public:
+    std::string name() const override { return "052.alvinn"; }
+    unsigned defaultReps() const override { return 4; }
+    unsigned scalarWorkIters() const override { return 800; }
+
+    void
+    setupData(Program &prog) const override
+    {
+        prog.allocWords("in", randomWords("alvinn.in", n + pad, -100, 100));
+        prog.allocWords("w0", randomWords("alvinn.w0", n + pad, -50, 50));
+        prog.allocWords("w1", randomWords("alvinn.w1", n + pad, -50, 50));
+        prog.allocData("hidden_out", (n + pad) * 4);
+    }
+
+    std::vector<Kernel>
+    makeKernels() const override
+    {
+        Kernel k("alvinn_dot", n);
+        const int acc0 = k.newAcc("h0", Opcode::Add, 0);
+        const int acc1 = k.newAcc("h1", Opcode::Add, 0);
+        const int x = k.load("in");
+        const int a = k.load("w0");
+        k.reduce(acc0, k.bin(Opcode::Mul, x, a));
+        const int b = k.load("w1");
+        k.reduce(acc1, k.bin(Opcode::Mul, x, b));
+
+        // Output layer: piecewise-linear activation over the hidden
+        // vector (alvinn's second hot loop).
+        Kernel act("alvinn_act", n);
+        {
+            const int h = act.load("w0");
+            const int scaled = act.binImm(Opcode::Mul, h, 3);
+            const int hi = act.binImm(Opcode::Min, scaled, 120);
+            const int lo = act.binImm(Opcode::Max, hi, -120);
+            act.store("hidden_out", lo);
+        }
+        return {k, act};
+    }
+
+    std::vector<std::pair<std::string, unsigned>>
+    outputs() const override
+    {
+        return {{"hidden_out", n}};
+    }
+
+  private:
+    static constexpr unsigned n = 256;
+};
+
+// ---------------------------------------------------------------------------
+// 056.ear — gammatone filterbank stage: short FIR + envelope maximum.
+// ---------------------------------------------------------------------------
+
+class Ear : public Workload
+{
+  public:
+    std::string name() const override { return "056.ear"; }
+    unsigned defaultReps() const override { return 4; }
+    unsigned scalarWorkIters() const override { return 1200; }
+
+    void
+    setupData(Program &prog) const override
+    {
+        prog.allocWords("x", randomFloats("ear.x", n + pad, -1.f, 1.f));
+        prog.allocData("env", (n + pad) * 4);
+        prog.allocData("smoothed", (n + pad) * 4);
+    }
+
+    std::vector<Kernel>
+    makeKernels() const override
+    {
+        Kernel k("ear_filter", n);
+        const int acc = k.newAcc("envmax", Opcode::Max,
+                                 floatToBits(-1e30f), true);
+        // Six-tap bandpass with fixed float coefficients. Float lane
+        // constants are too wide for the translator's value state, so
+        // they stay as constant-array vector loads after translation —
+        // which is still exact (paper Section 4.1).
+        static const float taps[6] = {0.21f, -0.38f, 0.56f,
+                                      0.56f, -0.38f, 0.21f};
+        int sum = -1;
+        for (unsigned t = 0; t < 6; ++t) {
+            const int xi = k.load("x", 4, true, false,
+                                  static_cast<std::int32_t>(t));
+            const int scaled = k.binConst(
+                Opcode::Mul, xi, {floatToBits(taps[t])});
+            sum = t == 0 ? scaled : k.bin(Opcode::Add, sum, scaled);
+        }
+        k.store("env", sum);
+        k.reduce(acc, sum);
+
+        // Second stage: rectification + smoothing of the envelope.
+        Kernel sm("ear_smooth", n);
+        {
+            const Word zero = floatToBits(0.0f);
+            const Word w1 = floatToBits(0.6f);
+            const Word w2 = floatToBits(0.4f);
+            const int e0 = sm.load("env", 4, true);
+            const int e1 = sm.load("env", 4, true, false, 1);
+            const int r0 = sm.binConst(Opcode::Max, e0, {zero});
+            const int r1 = sm.binConst(Opcode::Max, e1, {zero});
+            const int a0 = sm.binConst(Opcode::Mul, r0, {w1});
+            const int a1 = sm.binConst(Opcode::Mul, r1, {w2});
+            sm.store("smoothed", sm.bin(Opcode::Add, a0, a1));
+        }
+        return {k, sm};
+    }
+
+    std::vector<std::pair<std::string, unsigned>>
+    outputs() const override
+    {
+        return {{"env", n}, {"smoothed", n}};
+    }
+
+  private:
+    static constexpr unsigned n = 512;
+};
+
+// ---------------------------------------------------------------------------
+// 093.nasa7 — matrix kernel mix: row scale/add plus dot product.
+// ---------------------------------------------------------------------------
+
+class Nasa7 : public Workload
+{
+  public:
+    std::string name() const override { return "093.nasa7"; }
+    unsigned defaultReps() const override { return 4; }
+    unsigned scalarWorkIters() const override { return 1500; }
+
+    void
+    setupData(Program &prog) const override
+    {
+        prog.allocWords("ma", randomWords("nasa7.a", n + pad, -40, 40));
+        prog.allocWords("mb", randomWords("nasa7.b", n + pad, -40, 40));
+        prog.allocWords("mc", randomWords("nasa7.c", n + pad, -40, 40));
+        prog.allocData("md", (n + pad) * 4);
+        prog.allocData("me", (n + pad) * 4);
+        prog.allocData("mf", (n + pad) * 4);
+        prog.allocData("mg", (n + pad) * 4);
+    }
+
+    std::vector<Kernel>
+    makeKernels() const override
+    {
+        // mxm-style inner loop: two fused multiply-adds, a row update
+        // and a running dot product.
+        Kernel k("nasa7_mxm", n);
+        const int acc = k.newAcc("dot", Opcode::Add, 0);
+        const int a = k.load("ma");
+        const int b = k.load("mb");
+        const int c = k.load("mc");
+        const int ab = k.bin(Opcode::Mul, a, b);
+        const int t0 = k.bin(Opcode::Add, ab, c);
+        k.store("md", t0);
+        const int a1 = k.load("ma", 4, false, false, 1);
+        const int b1 = k.load("mb", 4, false, false, 2);
+        const int t1 = k.bin(Opcode::Mul, a1, b1);
+        const int t2 = k.bin(Opcode::Sub, t1, ab);
+        const int t3 = k.binImm(Opcode::Asr, t2, 2);
+        k.store("me", t3);
+        k.reduce(acc, t3);
+        const int mn = k.bin(Opcode::Min, t0, t3);
+        k.store("md", mn, 0);
+
+        // vpenta-style second hot loop: a wider solve step with five
+        // streams and two outputs (093.nasa7's loops are the paper's
+        // largest, mean 45.5 instructions).
+        Kernel v("nasa7_vpenta", n);
+        {
+            const int x0 = v.load("ma");
+            const int x1 = v.load("ma", 4, false, false, 1);
+            const int x2 = v.load("mb");
+            const int x3 = v.load("mb", 4, false, false, 2);
+            const int x4 = v.load("mc", 4, false, false, 1);
+            const int p0 = v.bin(Opcode::Mul, x0, x2);
+            const int p1 = v.bin(Opcode::Mul, x1, x3);
+            const int d = v.bin(Opcode::Sub, p0, p1);
+            const int e = v.bin(Opcode::Add, d, x4);
+            const int f = v.binImm(Opcode::Asr, e, 1);
+            const int g = v.bin(Opcode::Max, f, x0);
+            const int h = v.bin(Opcode::Eor, g, x3);
+            const int i2 = v.binImm(Opcode::And, h, 0xFFFF);
+            v.store("mf", i2);
+            const int j = v.bin(Opcode::Add, i2, f);
+            v.store("mg", j);
+        }
+        return {k, v};
+    }
+
+    std::vector<std::pair<std::string, unsigned>>
+    outputs() const override
+    {
+        return {{"md", n}, {"me", n}, {"mf", n}, {"mg", n}};
+    }
+
+  private:
+    static constexpr unsigned n = 384;
+};
+
+// ---------------------------------------------------------------------------
+// 101.tomcatv — mesh-smoothing stencil over two coordinate planes.
+// ---------------------------------------------------------------------------
+
+class Tomcatv : public Workload
+{
+  public:
+    std::string name() const override { return "101.tomcatv"; }
+    unsigned defaultReps() const override { return 4; }
+    unsigned scalarWorkIters() const override { return 1600; }
+
+    void
+    setupData(Program &prog) const override
+    {
+        prog.allocWords("tx", randomFloats("tomcatv.x", n + pad,
+                                           -2.f, 2.f));
+        prog.allocWords("ty", randomFloats("tomcatv.y", n + pad,
+                                           -2.f, 2.f));
+        prog.allocData("txn", (n + pad) * 4);
+        prog.allocData("tyn", (n + pad) * 4);
+        prog.allocData("trr", (n + pad) * 4);
+    }
+
+    std::vector<Kernel>
+    makeKernels() const override
+    {
+        Kernel k("tomcatv_smooth", n);
+        const Word half = floatToBits(0.5f);
+        const Word quarter = floatToBits(0.25f);
+        const int x0 = k.load("tx", 4, true);
+        const int x1 = k.load("tx", 4, true, false, 1);
+        const int x2 = k.load("tx", 4, true, false, 2);
+        const int y0 = k.load("ty", 4, true);
+        const int y1 = k.load("ty", 4, true, false, 1);
+        const int y2 = k.load("ty", 4, true, false, 2);
+        const int sx = k.bin(Opcode::Add, x0, x2);
+        const int sy = k.bin(Opcode::Add, y0, y2);
+        const int cx = k.binConst(Opcode::Mul, x1, {half});
+        const int cy = k.binConst(Opcode::Mul, y1, {half});
+        const int qx = k.binConst(Opcode::Mul, sx, {quarter});
+        const int qy = k.binConst(Opcode::Mul, sy, {quarter});
+        const int nx = k.bin(Opcode::Add, cx, qx);
+        const int ny = k.bin(Opcode::Add, cy, qy);
+        const int rx = k.bin(Opcode::Sub, nx, ny);
+        k.store("txn", nx, 1);
+        k.store("tyn", ny, 1);
+        k.store("txn", rx, 0);
+
+        // Residual/convergence loop (tomcatv's rmax search).
+        Kernel r("tomcatv_resid", n);
+        {
+            const int acc = r.newAcc("rmax", Opcode::Max,
+                                     floatToBits(-1e30f), true);
+            const int x = r.load("tx", 4, true);
+            const int xn = r.load("txn", 4, true);
+            const int d = r.bin(Opcode::Sub, xn, x);
+            const int dmax = r.bin(Opcode::Max, d,
+                                   r.bin(Opcode::Sub, x, xn));
+            r.store("trr", dmax);
+            r.reduce(acc, dmax);
+        }
+        return {k, r};
+    }
+
+    std::vector<std::pair<std::string, unsigned>>
+    outputs() const override
+    {
+        return {{"txn", n}, {"tyn", n}, {"trr", n}};
+    }
+
+  private:
+    static constexpr unsigned n = 448;
+};
+
+// ---------------------------------------------------------------------------
+// 104.hydro2d — Godunov flux limiter: elementwise min/max chains.
+// ---------------------------------------------------------------------------
+
+class Hydro2d : public Workload
+{
+  public:
+    std::string name() const override { return "104.hydro2d"; }
+    unsigned defaultReps() const override { return 4; }
+    unsigned scalarWorkIters() const override { return 1400; }
+
+    void
+    setupData(Program &prog) const override
+    {
+        prog.allocWords("hu", randomWords("hydro.u", n + pad, -500, 500));
+        prog.allocData("hflux", (n + pad) * 4);
+        prog.allocData("hlim", (n + pad) * 4);
+        prog.allocData("hnew", (n + pad) * 4);
+    }
+
+    std::vector<Kernel>
+    makeKernels() const override
+    {
+        Kernel k("hydro2d_limit", n);
+        const int u0 = k.load("hu");
+        const int u1 = k.load("hu", 4, false, false, 1);
+        const int u2 = k.load("hu", 4, false, false, 2);
+        const int d1 = k.bin(Opcode::Sub, u1, u0);
+        const int d2 = k.bin(Opcode::Sub, u2, u1);
+        const int mn = k.bin(Opcode::Min, d1, d2);
+        const int mx = k.bin(Opcode::Max, d1, d2);
+        const int zero_clip = k.binImm(Opcode::Max, mn, 0);
+        const int cap = k.binImm(Opcode::Min, mx, 64);
+        const int lim = k.bin(Opcode::Add, zero_clip, cap);
+        const int flux = k.bin(Opcode::Mul, lim, d1);
+        const int scaled = k.binImm(Opcode::Asr, flux, 3);
+        k.store("hflux", scaled);
+        k.store("hlim", lim);
+
+        // Advection update consuming the fluxes.
+        Kernel adv("hydro2d_advect", n);
+        {
+            const int u = adv.load("hu");
+            const int f0 = adv.load("hflux");
+            const int f1 = adv.load("hflux", 4, false, false, 1);
+            const int df = adv.bin(Opcode::Sub, f1, f0);
+            const int upd = adv.bin(Opcode::Sub, u, df);
+            const int clip = adv.binImm(Opcode::Min, upd, 2000);
+            adv.store("hnew", adv.binImm(Opcode::Max, clip, -2000));
+        }
+        return {k, adv};
+    }
+
+    std::vector<std::pair<std::string, unsigned>>
+    outputs() const override
+    {
+        return {{"hflux", n}, {"hlim", n}, {"hnew", n}};
+    }
+
+  private:
+    static constexpr unsigned n = 512;
+};
+
+// ---------------------------------------------------------------------------
+// 171.swim — shallow-water stencil over u/v/p fields.
+// ---------------------------------------------------------------------------
+
+class Swim : public Workload
+{
+  public:
+    std::string name() const override { return "171.swim"; }
+    unsigned defaultReps() const override { return 4; }
+    unsigned scalarWorkIters() const override { return 1800; }
+
+    void
+    setupData(Program &prog) const override
+    {
+        prog.allocWords("su", randomFloats("swim.u", n + pad, -1.f, 1.f));
+        prog.allocWords("sv", randomFloats("swim.v", n + pad, -1.f, 1.f));
+        prog.allocWords("sp", randomFloats("swim.p", n + pad, 1.f, 2.f));
+        prog.allocData("scu", (n + pad) * 4);
+        prog.allocData("scv", (n + pad) * 4);
+        prog.allocData("sz", (n + pad) * 4);
+        prog.allocData("snew", (n + pad) * 4);
+    }
+
+    std::vector<Kernel>
+    makeKernels() const override
+    {
+        // The paper notes 171.swim's hot loops operate on long vectors
+        // (e.g. 514 elements) passed through memory between loops.
+        Kernel k("swim_calc", n);
+        const Word half = floatToBits(0.5f);
+        const int u0 = k.load("su", 4, true);
+        const int u1 = k.load("su", 4, true, false, 1);
+        const int v0 = k.load("sv", 4, true);
+        const int v1 = k.load("sv", 4, true, false, 1);
+        const int p0 = k.load("sp", 4, true);
+        const int p1 = k.load("sp", 4, true, false, 1);
+        const int pu = k.bin(Opcode::Add, p0, p1);
+        const int cu = k.bin(Opcode::Mul,
+                             k.binConst(Opcode::Mul, pu, {half}), u1);
+        const int cv = k.bin(Opcode::Mul,
+                             k.binConst(Opcode::Mul, pu, {half}), v1);
+        k.store("scu", cu);
+        k.store("scv", cv);
+        const int du = k.bin(Opcode::Sub, u1, u0);
+        const int dv = k.bin(Opcode::Sub, v1, v0);
+        const int z = k.bin(Opcode::Sub, du, dv);
+        k.store("sz", z);
+
+        // Second time-step loop reading the fluxes back.
+        Kernel c2("swim_calc2", n);
+        {
+            const Word quarter = floatToBits(0.25f);
+            const int cu0 = c2.load("scu", 4, true);
+            const int cu1 = c2.load("scu", 4, true, false, 1);
+            const int cv0 = c2.load("scv", 4, true);
+            const int z0 = c2.load("sz", 4, true);
+            const int s = c2.bin(Opcode::Add, cu0, cu1);
+            const int m = c2.binConst(Opcode::Mul, s, {quarter});
+            const int w = c2.bin(Opcode::Sub, m, cv0);
+            const int out = c2.bin(Opcode::Add, w, z0);
+            c2.store("snew", out);
+        }
+        return {k, c2};
+    }
+
+    std::vector<std::pair<std::string, unsigned>>
+    outputs() const override
+    {
+        return {{"scu", n}, {"scv", n}, {"sz", n}, {"snew", n}};
+    }
+
+  private:
+    static constexpr unsigned n = 512;
+};
+
+// ---------------------------------------------------------------------------
+// 172.mgrid — multigrid relaxation: wide weighted stencil.
+// ---------------------------------------------------------------------------
+
+class Mgrid : public Workload
+{
+  public:
+    std::string name() const override { return "172.mgrid"; }
+    unsigned defaultReps() const override { return 4; }
+    unsigned scalarWorkIters() const override { return 1700; }
+
+    void
+    setupData(Program &prog) const override
+    {
+        prog.allocWords("mr", randomFloats("mgrid.r", n + pad, -1.f, 1.f));
+        prog.allocWords("mz", randomFloats("mgrid.z", n + pad, -1.f, 1.f));
+        prog.allocData("mzn", (n + pad) * 4);
+        prog.allocData("mres", (n + pad) * 4);
+    }
+
+    std::vector<Kernel>
+    makeKernels() const override
+    {
+        Kernel relax("mgrid_relax", n);
+        {
+            const Word w0 = floatToBits(0.5f);
+            const Word w1 = floatToBits(0.25f);
+            const Word w2 = floatToBits(0.125f);
+            const int r0 = relax.load("mr", 4, true);
+            const int r1 = relax.load("mr", 4, true, false, 1);
+            const int r2 = relax.load("mr", 4, true, false, 2);
+            const int r3 = relax.load("mr", 4, true, false, 3);
+            const int r4 = relax.load("mr", 4, true, false, 4);
+            const int c = relax.binConst(Opcode::Mul, r2, {w0});
+            const int near = relax.binConst(
+                Opcode::Mul, relax.bin(Opcode::Add, r1, r3), {w1});
+            const int far = relax.binConst(
+                Opcode::Mul, relax.bin(Opcode::Add, r0, r4), {w2});
+            const int z = relax.bin(
+                Opcode::Add, relax.bin(Opcode::Add, c, near), far);
+            relax.store("mzn", z);
+        }
+        Kernel resid("mgrid_resid", n);
+        {
+            const int z0 = resid.load("mz", 4, true);
+            const int z1 = resid.load("mz", 4, true, false, 1);
+            const int r = resid.load("mr", 4, true);
+            const int d = resid.bin(Opcode::Sub, r,
+                                    resid.bin(Opcode::Sub, z1, z0));
+            resid.store("mres", d);
+        }
+        return {relax, resid};
+    }
+
+    std::vector<std::pair<std::string, unsigned>>
+    outputs() const override
+    {
+        return {{"mzn", n}, {"mres", n}};
+    }
+
+  private:
+    static constexpr unsigned n = 512;
+};
+
+// ---------------------------------------------------------------------------
+// 179.art — ART F1 neural layer over arrays far larger than the 16 KB
+// data cache: speedup limited by misses (paper Section 5).
+// ---------------------------------------------------------------------------
+
+class Art : public Workload
+{
+  public:
+    std::string name() const override { return "179.art"; }
+    unsigned defaultReps() const override { return 4; }
+    unsigned scalarWorkIters() const override { return 800; }
+
+    void
+    setupData(Program &prog) const override
+    {
+        prog.allocWords("af", randomWords("art.f", n + pad, -30, 30));
+        prog.allocWords("aw", randomWords("art.w", n + pad, -30, 30));
+        prog.allocWords("ay", randomWords("art.y", n + pad, -30, 30));
+        prog.allocWords("at", randomWords("art.t", m + pad, -90, 90));
+        prog.allocWords("au", randomWords("art.u", m + pad, -90, 90));
+        prog.allocData("af2", (m + pad) * 4);
+    }
+
+    std::vector<Kernel>
+    makeKernels() const override
+    {
+        Kernel k("art_f1", n);
+        const int acc = k.newAcc("winner", Opcode::Max,
+                                 static_cast<Word>(-2147483647), false);
+        const int f = k.load("af");
+        const int w = k.load("aw");
+        const int y = k.load("ay");
+        const int p = k.bin(Opcode::Mul, f, w);
+        const int upd = k.bin(Opcode::Add, p, y);
+        k.store("ay", upd);
+        k.reduce(acc, upd);
+
+        // F2 winner-take-all pass over the (much smaller) category
+        // layer — art's other hot loop.
+        Kernel f2("art_f2", m);
+        {
+            const int acc2 = f2.newAcc("f2max", Opcode::Max,
+                                       static_cast<Word>(-2147483647),
+                                       false);
+            const int t = f2.load("at");
+            const int u = f2.load("au");
+            const int net = f2.bin(Opcode::Sub, t, u);
+            const int clipped = f2.binImm(Opcode::Max, net, 0);
+            f2.store("af2", clipped);
+            f2.reduce(acc2, clipped);
+        }
+        return {k, f2};
+    }
+
+    std::vector<std::pair<std::string, unsigned>>
+    outputs() const override
+    {
+        return {{"ay", n}, {"af2", m}};
+    }
+
+  private:
+    // 3 arrays x 64 KB >> 16 KB cache.
+    static constexpr unsigned n = 16384;
+    static constexpr unsigned m = 1024;
+};
+
+// ---------------------------------------------------------------------------
+// MPEG2 Decode — 8-point IDCT butterfly rows (8-element vectors, so no
+// benefit past width 8; paper Figure 6) plus saturating pixel add.
+// ---------------------------------------------------------------------------
+
+class Mpeg2Dec : public Workload
+{
+  public:
+    std::string name() const override { return "mpeg2dec"; }
+    unsigned defaultReps() const override { return 6; }
+    unsigned callsPerRep() const override { return 4; }
+    unsigned scalarWorkIters() const override { return 40; }
+
+    void
+    setupData(Program &prog) const override
+    {
+        prog.allocWords("blk", randomWords("m2d.blk", 8 + pad, -256, 256));
+        prog.allocData("idct_out", (8 + pad) * 4);
+        prog.allocWords("pa",
+                        randomWords("m2d.pa", n + pad, -20000, 20000));
+        prog.allocWords("pb",
+                        randomWords("m2d.pb", n + pad, -20000, 20000));
+        prog.allocData("pix", (n + pad) * 4);
+    }
+
+    std::vector<Kernel>
+    makeKernels() const override
+    {
+        // One IDCT butterfly stage: operates on exactly 8 elements, so
+        // translation requires an 8-wide accelerator and a 16-wide one
+        // gains nothing (trip count 8 is not a multiple of 16).
+        Kernel idct("m2d_idct8", 8, 8);
+        {
+            const int t = idct.load("blk");
+            const int c = idct.perm(t, PermKind::SwapHalves, 8);
+            const int s = idct.bin(Opcode::Add, t, c);
+            idct.store("idct_out", s);
+        }
+        // Motion-compensation add with saturation.
+        // Compiled to a maximum vectorizable width of 8 like the rest
+        // of the codec (the paper's MPEG2 loops are 8-element).
+        Kernel satadd("m2d_satadd", n, 8);
+        {
+            const int a = satadd.load("pa");
+            const int b = satadd.load("pb");
+            const int s = satadd.bin(Opcode::Qadd, a, b);
+            satadd.store("pix", s);
+        }
+        return {idct, satadd};
+    }
+
+    std::vector<std::pair<std::string, unsigned>>
+    outputs() const override
+    {
+        return {{"idct_out", 8}, {"pix", n}};
+    }
+
+  private:
+    static constexpr unsigned n = 64;
+};
+
+// ---------------------------------------------------------------------------
+// MPEG2 Encode — SAD reduction and quantization.
+// ---------------------------------------------------------------------------
+
+class Mpeg2Enc : public Workload
+{
+  public:
+    std::string name() const override { return "mpeg2enc"; }
+    unsigned defaultReps() const override { return 6; }
+    unsigned callsPerRep() const override { return 4; }
+    unsigned scalarWorkIters() const override { return 60; }
+
+    void
+    setupData(Program &prog) const override
+    {
+        prog.allocWords("ref", randomWords("m2e.ref", n + pad, 0, 255));
+        prog.allocWords("cur", randomWords("m2e.cur", n + pad, 0, 255));
+        prog.allocWords("coef",
+                        randomWords("m2e.coef", m + pad, -1000, 1000));
+        prog.allocData("qcoef", (m + pad) * 4);
+    }
+
+    std::vector<Kernel>
+    makeKernels() const override
+    {
+        Kernel sad("m2e_sad", n);
+        {
+            const int acc = sad.newAcc("sad", Opcode::Add, 0);
+            const int a = sad.load("ref");
+            const int b = sad.load("cur");
+            const int d1 = sad.bin(Opcode::Sub, a, b);
+            const int d2 = sad.bin(Opcode::Sub, b, a);
+            const int ad = sad.bin(Opcode::Max, d1, d2);
+            sad.reduce(acc, ad);
+        }
+        Kernel quant("m2e_quant", m, 8);
+        {
+            const int c = quant.load("coef");
+            const int scaled = quant.binImm(Opcode::Mul, c, 17);
+            const int q = quant.binImm(Opcode::Asr, scaled, 5);
+            quant.store("qcoef", q);
+        }
+        return {sad, quant};
+    }
+
+    std::vector<std::pair<std::string, unsigned>>
+    outputs() const override
+    {
+        return {{"qcoef", m}};
+    }
+
+  private:
+    static constexpr unsigned n = 256;
+    static constexpr unsigned m = 8;
+};
+
+// ---------------------------------------------------------------------------
+// GSM Decode — long-term-prediction synthesis with saturating adds on
+// 16-bit samples (the paper's saturation idiom, Section 3.2).
+// ---------------------------------------------------------------------------
+
+class GsmDec : public Workload
+{
+  public:
+    std::string name() const override { return "gsmdec"; }
+    unsigned defaultReps() const override { return 8; }
+    unsigned scalarWorkIters() const override { return 300; }
+
+    void
+    setupData(Program &prog) const override
+    {
+        std::vector<Word> exc =
+            randomWords("gsmd.exc", (n + pad) / 2, -12000, 12000);
+        std::vector<Word> past =
+            randomWords("gsmd.past", (n + pad) / 2, -12000, 12000);
+        // Halfword arrays packed two samples per word.
+        prog.allocData("exc", (n + pad) * 2);
+        prog.allocData("past", (n + pad) * 2);
+        prog.allocData("synth", (n + pad) * 2);
+        prog.allocData("stout", (n + pad) * 2);
+        for (unsigned i = 0; i < (n + pad) / 2; ++i) {
+            prog.initWord(prog.symbol("exc") + i * 4, exc[i]);
+            prog.initWord(prog.symbol("past") + i * 4, past[i]);
+        }
+    }
+
+    std::vector<Kernel>
+    makeKernels() const override
+    {
+        Kernel k("gsmdec_ltp", n);
+        const int e = k.load("exc", 2, false, true);
+        const int p = k.load("past", 2, false, true);
+        const int scaled = k.binImm(Opcode::Mul, p, 13);
+        const int shifted = k.binImm(Opcode::Asr, scaled, 4);
+        const int s = k.bin(Opcode::Qadd, e, shifted);
+        const int s2 = k.bin(Opcode::Qadd, s, s);
+        k.store("synth", s2, 0);
+
+        // Short-term synthesis: reflection-coefficient stage with two
+        // saturating updates (GSM 06.10 is idiom-heavy; paper: 25
+        // instructions per loop).
+        Kernel st("gsmdec_short", n);
+        {
+            const int sr = st.load("synth", 2, false, true);
+            const int rp = st.load("past", 2, false, true);
+            const int scaled = st.binImm(Opcode::Mul, rp, 9);
+            const int shifted = st.binImm(Opcode::Asr, scaled, 4);
+            const int u = st.bin(Opcode::Qsub, sr, shifted);
+            const int v2 = st.bin(Opcode::Qadd, u, rp);
+            st.store("stout", v2);
+        }
+        return {k, st};
+    }
+
+    std::vector<std::pair<std::string, unsigned>>
+    outputs() const override
+    {
+        return {{"synth", n / 2}, {"stout", n / 2}};
+    }
+
+  private:
+    static constexpr unsigned n = 160;
+};
+
+// ---------------------------------------------------------------------------
+// GSM Encode — autocorrelation lags (reductions over shifted products).
+// ---------------------------------------------------------------------------
+
+class GsmEnc : public Workload
+{
+  public:
+    std::string name() const override { return "gsmenc"; }
+    unsigned defaultReps() const override { return 8; }
+    unsigned scalarWorkIters() const override { return 400; }
+
+    void
+    setupData(Program &prog) const override
+    {
+        std::vector<Word> s =
+            randomWords("gsme.s", (n + pad) / 2, -120, 120);
+        prog.allocData("spch", (n + pad) * 2);
+        prog.allocData("pout", (n + pad) * 2);
+        for (unsigned i = 0; i < (n + pad) / 2; ++i)
+            prog.initWord(prog.symbol("spch") + i * 4, s[i]);
+    }
+
+    std::vector<Kernel>
+    makeKernels() const override
+    {
+        Kernel k("gsmenc_autoc", n);
+        const int acc0 = k.newAcc("l0", Opcode::Add, 0);
+        const int acc1 = k.newAcc("l1", Opcode::Add, 0);
+        const int acc2 = k.newAcc("l2", Opcode::Add, 0);
+        const int x = k.load("spch", 2, false, true);
+        k.reduce(acc0, k.bin(Opcode::Mul, x, x));
+        const int x1 = k.load("spch", 2, false, true, 1);
+        k.reduce(acc1, k.bin(Opcode::Mul, x, x1));
+        const int x2 = k.load("spch", 2, false, true, 2);
+        k.reduce(acc2, k.bin(Opcode::Mul, x, x2));
+
+        // Pre-emphasis filter with saturation (GSM 06.10 style):
+        // p[i] = sat(s[i] - (s[i+1]*11 >> 4)).
+        Kernel pre("gsmenc_preemph", n);
+        {
+            const int s0 = pre.load("spch", 2, false, true);
+            const int s1 = pre.load("spch", 2, false, true, 1);
+            const int scaled = pre.binImm(Opcode::Mul, s1, 11);
+            const int shifted = pre.binImm(Opcode::Asr, scaled, 4);
+            const int out = pre.bin(Opcode::Qsub, s0, shifted);
+            pre.store("pout", out);
+        }
+        return {k, pre};
+    }
+
+    std::vector<std::pair<std::string, unsigned>>
+    outputs() const override
+    {
+        return {{"pout", n / 2}};
+    }
+
+  private:
+    static constexpr unsigned n = 160;
+};
+
+// ---------------------------------------------------------------------------
+// LU — row elimination: the classic daxpy-like update.
+// ---------------------------------------------------------------------------
+
+class Lu : public Workload
+{
+  public:
+    std::string name() const override { return "lu"; }
+    unsigned defaultReps() const override { return 6; }
+    unsigned scalarWorkIters() const override { return 500; }
+
+    void
+    setupData(Program &prog) const override
+    {
+        prog.allocWords("rowi", randomWords("lu.rowi", n + pad, -60, 60));
+        prog.allocWords("rowj", randomWords("lu.rowj", n + pad, -60, 60));
+    }
+
+    std::vector<Kernel>
+    makeKernels() const override
+    {
+        Kernel k("lu_elim", n);
+        const int rj = k.load("rowj");
+        const int ri = k.load("rowi");
+        const int scaled = k.binImm(Opcode::Mul, ri, 3);
+        const int upd = k.bin(Opcode::Sub, rj, scaled);
+        k.store("rowj", upd);
+        return {k};
+    }
+
+    std::vector<std::pair<std::string, unsigned>>
+    outputs() const override
+    {
+        return {{"rowj", n}};
+    }
+
+  private:
+    static constexpr unsigned n = 256;
+};
+
+// ---------------------------------------------------------------------------
+// FIR — 4-tap integer FIR, almost fully vectorizable (the paper's
+// highest speedup: ~94% of runtime in the hot loop).
+// ---------------------------------------------------------------------------
+
+class Fir : public Workload
+{
+  public:
+    std::string name() const override { return "fir"; }
+    unsigned defaultReps() const override { return 24; }
+    unsigned scalarWorkIters() const override { return 30; }
+
+    void
+    setupData(Program &prog) const override
+    {
+        prog.allocWords("fx", randomWords("fir.x", n + pad, -100, 100));
+        prog.allocData("fy", (n + pad) * 4);
+    }
+
+    std::vector<Kernel>
+    makeKernels() const override
+    {
+        // Splat tap coefficients are scalar-supported constants
+        // (paper Table 1 category 2): plain immediates, no table.
+        Kernel k("fir4", n);
+        static const std::int32_t taps[4] = {3, -5, 7, -2};
+        int sum = -1;
+        for (unsigned t = 0; t < 4; ++t) {
+            const int xi =
+                k.load("fx", 4, false, false,
+                       static_cast<std::int32_t>(t));
+            const int scaled = k.binImm(Opcode::Mul, xi, taps[t]);
+            sum = t == 0 ? scaled : k.bin(Opcode::Add, sum, scaled);
+        }
+        k.store("fy", sum);
+        return {k};
+    }
+
+    std::vector<std::pair<std::string, unsigned>>
+    outputs() const override
+    {
+        return {{"fy", n}};
+    }
+
+  private:
+    static constexpr unsigned n = 1024;
+};
+
+// ---------------------------------------------------------------------------
+// FFT — the paper's running example (Figures 2-4), reproduced literally
+// as the block-8 butterfly kernel, plus narrower butterfly stages so
+// narrow accelerators also find translatable loops.
+// ---------------------------------------------------------------------------
+
+class Fft : public Workload
+{
+  public:
+    std::string name() const override { return "fft"; }
+    unsigned defaultReps() const override { return 5; }
+    unsigned scalarWorkIters() const override { return 700; }
+
+    void
+    setupData(Program &prog) const override
+    {
+        prog.allocWords("RealOut",
+                        randomFloats("fft.re", n + pad, -1.f, 1.f));
+        prog.allocWords("ImagOut",
+                        randomFloats("fft.im", n + pad, -1.f, 1.f));
+        prog.allocWords("ar", randomFloats("fft.ar", n + pad, -1.f, 1.f));
+        prog.allocWords("ai", randomFloats("fft.ai", n + pad, -1.f, 1.f));
+        prog.allocData("stage2", (n + pad) * 4);
+        prog.allocData("stage4", (n + pad) * 4);
+    }
+
+    std::vector<Kernel>
+    makeKernels() const override
+    {
+        // Early radix-2 stages with narrow butterflies.
+        Kernel s2("fft_stage2", n);
+        {
+            const int x = s2.load("ImagOut", 4, true);
+            const int xp = s2.perm(x, PermKind::SwapPairs, 2);
+            const int s = s2.bin(Opcode::Add, x, xp);
+            s2.store("stage2", s);
+        }
+        Kernel s4("fft_stage4", n);
+        {
+            const int y = s4.load("ar", 4, true);
+            const int yp = s4.perm(y, PermKind::Reverse, 4);
+            const int d = s4.bin(Opcode::Sub, yp, y);
+            s4.store("stage4", d);
+        }
+        // The paper's Figure 4(A) loop, verbatim.
+        Kernel s8("fft_bfly8", n);
+        {
+            const int v0 = s8.load("RealOut", 4, true);
+            const int v0b = s8.perm(v0, PermKind::SwapHalves, 8);
+            const int v1 = s8.load("ImagOut", 4, true);
+            const int v1b = s8.perm(v1, PermKind::SwapHalves, 8);
+            const int v2 = s8.load("ar", 4, true);
+            const int v3 = s8.load("ai", 4, true);
+            const int t2 = s8.bin(Opcode::Mul, v2, v0b);
+            const int t3 = s8.bin(Opcode::Mul, v3, v1b);
+            const int tr = s8.bin(Opcode::Sub, t2, t3);
+            const int v5 = s8.load("RealOut", 4, true);
+            const int lo = s8.bin(Opcode::Sub, v5, tr);
+            const int hi = s8.bin(Opcode::Add, v5, tr);
+            const int mlo = s8.mask(lo, 0xF0, 8);
+            const int mhi = s8.mask(hi, 0xF0, 8);
+            const int mlob = s8.perm(mlo, PermKind::SwapHalves, 8);
+            const int merged = s8.bin(Opcode::Orr, mlob, mhi);
+            s8.store("RealOut", merged);
+        }
+        return {s2, s4, s8};
+    }
+
+    std::vector<std::pair<std::string, unsigned>>
+    outputs() const override
+    {
+        return {{"stage2", n}, {"stage4", n}, {"RealOut", n}};
+    }
+
+  private:
+    static constexpr unsigned n = 128;
+};
+
+} // namespace
+
+std::vector<std::unique_ptr<Workload>>
+makeSuite()
+{
+    std::vector<std::unique_ptr<Workload>> suite;
+    suite.push_back(std::make_unique<Alvinn>());
+    suite.push_back(std::make_unique<Ear>());
+    suite.push_back(std::make_unique<Nasa7>());
+    suite.push_back(std::make_unique<Tomcatv>());
+    suite.push_back(std::make_unique<Hydro2d>());
+    suite.push_back(std::make_unique<Swim>());
+    suite.push_back(std::make_unique<Mgrid>());
+    suite.push_back(std::make_unique<Art>());
+    suite.push_back(std::make_unique<Mpeg2Dec>());
+    suite.push_back(std::make_unique<Mpeg2Enc>());
+    suite.push_back(std::make_unique<GsmDec>());
+    suite.push_back(std::make_unique<GsmEnc>());
+    suite.push_back(std::make_unique<Lu>());
+    suite.push_back(std::make_unique<Fir>());
+    suite.push_back(std::make_unique<Fft>());
+    return suite;
+}
+
+} // namespace liquid

@@ -1,0 +1,93 @@
+#include "workloads/vir_interp.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+#include "cpu/exec.hh"
+
+namespace liquid
+{
+
+std::vector<Word>
+interpretKernel(const vir::Kernel &kernel, const Program &prog,
+                MainMemory &mem)
+{
+    using vir::OpK;
+    const unsigned width = kernel.maxWidth();
+
+    std::vector<Word> accs;
+    for (const auto &acc : kernel.accs())
+        accs.push_back(acc.init);
+
+    std::map<int, VecValue> values;
+
+    for (unsigned base = 0; base < kernel.tripCount(); base += width) {
+        values.clear();
+        for (const vir::VInst &v : kernel.body()) {
+            const bool is_float =
+                v.dst >= 0 && kernel.values()[v.dst].isFloat;
+            switch (v.k) {
+              case OpK::Load: {
+                const Addr addr = prog.symbol(v.array);
+                VecValue out{};
+                for (unsigned l = 0; l < width; ++l) {
+                    out[l] = mem.readElem(
+                        addr + (base + l + v.disp) * v.elemSize,
+                        v.elemSize, v.isSigned);
+                }
+                values[v.dst] = out;
+                break;
+              }
+              case OpK::Store: {
+                const Addr addr = prog.symbol(v.array);
+                const VecValue &src = values.at(v.a);
+                for (unsigned l = 0; l < width; ++l) {
+                    mem.writeElem(
+                        addr + (base + l + v.disp) * v.elemSize,
+                        v.elemSize, src[l]);
+                }
+                break;
+              }
+              case OpK::Bin:
+                values[v.dst] = evalVectorOp(opInfo(v.op).vectorEquiv,
+                                             values.at(v.a),
+                                             values.at(v.b), width,
+                                             is_float);
+                break;
+              case OpK::BinImm: {
+                VecValue imm{};
+                imm.fill(static_cast<Word>(v.imm));
+                values[v.dst] = evalVectorOp(opInfo(v.op).vectorEquiv,
+                                             values.at(v.a), imm, width,
+                                             is_float);
+                break;
+              }
+              case OpK::BinConst:
+                values[v.dst] = evalVectorConstOp(
+                    opInfo(v.op).vectorEquiv, values.at(v.a),
+                    ConstVec{v.lanes}, width, is_float);
+                break;
+              case OpK::Perm:
+                values[v.dst] = evalPerm(values.at(v.a), v.permKind,
+                                         v.permBlock, width);
+                break;
+              case OpK::Mask:
+                values[v.dst] = evalMask(values.at(v.a), v.maskBits,
+                                         v.maskBlock, width);
+                break;
+              case OpK::Red: {
+                const auto &acc_info = kernel.accs()[v.acc];
+                accs[v.acc] = evalReduction(
+                    opInfo(acc_info.op).reductionEquiv, accs[v.acc],
+                    values.at(v.a), width, acc_info.isFloat);
+                break;
+              }
+              default:
+                panic("vir interpreter: unsupported op");
+            }
+        }
+    }
+    return accs;
+}
+
+} // namespace liquid

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Reference interpreter for vector-IR kernels.
+ *
+ * Executes a vir::Kernel directly over simulated memory with
+ * whole-vector semantics, independent of the scalarizer and the
+ * pipeline model. Serves as the golden model for every workload: all
+ * three lowerings (baseline scalar, Liquid, native SIMD) must leave
+ * output arrays byte-identical to this interpreter.
+ *
+ * Kernel legality (checked by the scalarizer) guarantees the result is
+ * independent of the vector width used here; the interpreter uses the
+ * kernel's compiled maxWidth.
+ */
+
+#ifndef LIQUID_WORKLOADS_VIR_INTERP_HH
+#define LIQUID_WORKLOADS_VIR_INTERP_HH
+
+#include <vector>
+
+#include "asm/program.hh"
+#include "memory/main_memory.hh"
+#include "scalarizer/vir.hh"
+
+namespace liquid
+{
+
+/** Execute one kernel call; returns final accumulator values. */
+std::vector<Word> interpretKernel(const vir::Kernel &kernel,
+                                  const Program &prog, MainMemory &mem);
+
+} // namespace liquid
+
+#endif // LIQUID_WORKLOADS_VIR_INTERP_HH

@@ -1,0 +1,170 @@
+#include "workloads/workload.hh"
+
+#include <functional>
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "workloads/vir_interp.hh"
+
+namespace liquid
+{
+
+std::string
+Workload::accResArray(unsigned k, unsigned a) const
+{
+    return "accres_k" + std::to_string(k) + "_a" + std::to_string(a);
+}
+
+Workload::Build
+Workload::build(EmitOptions::Mode mode, unsigned width, bool hinted) const
+{
+    Build out;
+    Program &prog = out.prog;
+
+    setupData(prog);
+    const auto kernels = makeKernels();
+
+    // Accumulator result arrays, one slot per outer iteration.
+    for (unsigned k = 0; k < kernels.size(); ++k) {
+        for (unsigned a = 0; a < kernels[k].accs().size(); ++a)
+            prog.allocData(accResArray(k, a), reps() * 4);
+    }
+
+    // Outlined modes emit the kernels as functions up front.
+    const bool inline_mode = mode == EmitOptions::Mode::InlineScalar;
+    if (!inline_mode) {
+        for (unsigned k = 0; k < kernels.size(); ++k) {
+            EmitOptions opts;
+            opts.mode = mode;
+            opts.nativeWidth = width;
+            opts.hinted = hinted;
+            opts.fnName = name() + "_k" + std::to_string(k);
+            out.kernels.push_back(emitKernel(prog, kernels[k], opts));
+            out.kernelEntries.push_back(
+                Program::instAddr(prog.labelIndex(opts.fnName)));
+        }
+    }
+
+    // Driver: r10 = outer counter, r11 = scalar-work counter.
+    const RegId outer_reg(RegClass::Int, 10);
+    const RegId work_reg(RegClass::Int, 11);
+
+    prog.defineLabel("main");
+    prog.addInst(Inst::movImm(outer_reg, 0));
+    prog.defineLabel("outer");
+
+    for (unsigned k = 0; k < kernels.size(); ++k) {
+        if (inline_mode) {
+            EmitResult r;
+            for (unsigned c = 0; c < callsPerRep(); ++c) {
+                EmitOptions opts;
+                opts.mode = EmitOptions::Mode::InlineScalar;
+                opts.fnName = name() + "_k" + std::to_string(k) + "_c" +
+                              std::to_string(c);
+                r = emitKernel(prog, kernels[k], opts);
+            }
+            if (out.kernels.size() <= k)
+                out.kernels.push_back(r);
+            for (unsigned a = 0; a < r.accRegs.size(); ++a) {
+                prog.addInst(Inst::store(
+                    Opcode::Stw, r.accRegs[a],
+                    prog.ref(accResArray(k, a), outer_reg)));
+            }
+        } else {
+            const std::string fn = name() + "_k" + std::to_string(k);
+            for (unsigned c = 0; c < callsPerRep(); ++c) {
+                prog.addInst(Inst::call(-1, hinted, fn,
+                                        kernels[k].maxWidth()));
+            }
+            for (unsigned a = 0; a < out.kernels[k].accRegs.size(); ++a) {
+                prog.addInst(Inst::store(
+                    Opcode::Stw, out.kernels[k].accRegs[a],
+                    prog.ref(accResArray(k, a), outer_reg)));
+            }
+        }
+    }
+
+    // Non-vectorizable scalar work.
+    if (scalarWorkIters() > 0) {
+        prog.addInst(Inst::movImm(work_reg, 0));
+        prog.defineLabel("scalar_work");
+        prog.addInst(Inst::dpImm(Opcode::Add, work_reg, work_reg, 1));
+        prog.addInst(Inst::cmpImm(
+            work_reg, static_cast<std::int32_t>(scalarWorkIters())));
+        prog.addInst(Inst::branch(Cond::LT, -1, "scalar_work"));
+    }
+
+    prog.addInst(Inst::dpImm(Opcode::Add, outer_reg, outer_reg, 1));
+    prog.addInst(
+        Inst::cmpImm(outer_reg, static_cast<std::int32_t>(reps())));
+    prog.addInst(Inst::branch(Cond::LT, -1, "outer"));
+    prog.addInst(Inst::halt());
+
+    prog.resolveBranches();
+    return out;
+}
+
+void
+Workload::goldenRun(const Build &build, MainMemory &mem) const
+{
+    const auto kernels = makeKernels();
+    for (unsigned rep = 0; rep < reps(); ++rep) {
+        for (unsigned k = 0; k < kernels.size(); ++k) {
+            std::vector<Word> accs;
+            for (unsigned c = 0; c < callsPerRep(); ++c)
+                accs = interpretKernel(kernels[k], build.prog, mem);
+            for (unsigned a = 0; a < accs.size(); ++a) {
+                mem.writeWord(build.prog.symbol(accResArray(k, a)) +
+                                  rep * 4,
+                              accs[a]);
+            }
+        }
+    }
+}
+
+std::vector<Word>
+Workload::readArray(const Program &prog, const MainMemory &mem,
+                    const std::string &name, unsigned words)
+{
+    const Addr base = prog.symbol(name);
+    std::vector<Word> out(words);
+    for (unsigned i = 0; i < words; ++i)
+        out[i] = mem.readWord(base + i * 4);
+    return out;
+}
+
+std::vector<std::pair<std::string, unsigned>>
+Workload::allOutputs() const
+{
+    auto out = outputs();
+    const auto kernels = makeKernels();
+    for (unsigned k = 0; k < kernels.size(); ++k) {
+        for (unsigned a = 0; a < kernels[k].accs().size(); ++a)
+            out.emplace_back(accResArray(k, a), reps());
+    }
+    return out;
+}
+
+std::vector<Word>
+randomWords(const std::string &seed, unsigned count, std::int32_t lo,
+            std::int32_t hi)
+{
+    Rng rng(std::hash<std::string>{}(seed));
+    std::vector<Word> out(count);
+    for (auto &w : out)
+        w = static_cast<Word>(static_cast<std::int32_t>(rng.range(lo, hi)));
+    return out;
+}
+
+std::vector<Word>
+randomFloats(const std::string &seed, unsigned count, float lo, float hi)
+{
+    Rng rng(std::hash<std::string>{}(seed) ^ 0xF10A7ull);
+    std::vector<Word> out(count);
+    for (auto &w : out)
+        w = floatToBits(lo + (hi - lo) * rng.nextFloat());
+    return out;
+}
+
+} // namespace liquid

@@ -1,0 +1,99 @@
+/** @file Unit tests for bit utilities and the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitfield.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+
+namespace liquid
+{
+namespace
+{
+
+TEST(Bitfield, BitsExtraction)
+{
+    EXPECT_EQ(bits(0xDEADBEEF, 31, 28), 0xDu);
+    EXPECT_EQ(bits(0xDEADBEEF, 7, 0), 0xEFu);
+    EXPECT_EQ(bits(0xDEADBEEF, 31, 0), 0xDEADBEEFu);
+    EXPECT_EQ(bits(0xFF, 3, 3), 1u);
+}
+
+TEST(Bitfield, InsertBits)
+{
+    EXPECT_EQ(insertBits(0, 7, 4, 0xA), 0xA0u);
+    EXPECT_EQ(insertBits(0xFFFFFFFF, 7, 4, 0), 0xFFFFFF0Fu);
+    EXPECT_EQ(insertBits(0, 31, 0, 0x12345678), 0x12345678u);
+}
+
+TEST(Bitfield, SignExtend)
+{
+    EXPECT_EQ(sext(0xFF, 8), -1);
+    EXPECT_EQ(sext(0x7F, 8), 127);
+    EXPECT_EQ(sext(0x80, 8), -128);
+    EXPECT_EQ(sext(0xFFFF, 16), -1);
+    EXPECT_EQ(sext(5, 16), 5);
+}
+
+TEST(Bitfield, PowerOfTwoHelpers)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(48));
+    EXPECT_EQ(log2i(64), 6u);
+    EXPECT_EQ(roundUp(13, 8), 16u);
+    EXPECT_EQ(roundUp(16, 8), 16u);
+    EXPECT_EQ(divCeil(9, 4), 3u);
+    EXPECT_EQ(divCeil(8, 4), 2u);
+}
+
+TEST(Bitfield, FloatBitcastRoundTrip)
+{
+    for (float f : {0.0f, 1.0f, -2.5f, 3.14159f, 1e-30f, -1e30f})
+        EXPECT_EQ(bitsToFloat(floatToBits(f)), f);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a.next64();
+        EXPECT_EQ(va, b.next64());
+        (void)c.next64();
+    }
+    Rng a2(42), c2(43);
+    EXPECT_NE(a2.next64(), c2.next64());
+}
+
+TEST(Rng, RangeBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.range(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+    for (int i = 0; i < 1000; ++i) {
+        const float f = rng.nextFloat();
+        EXPECT_GE(f, 0.0f);
+        EXPECT_LT(f, 1.0f);
+    }
+}
+
+TEST(Stats, CountersAndDump)
+{
+    StatGroup g("test");
+    EXPECT_EQ(g.get("missing"), 0u);
+    g.inc("a");
+    g.inc("a", 4);
+    g.set("b", 10);
+    EXPECT_EQ(g.get("a"), 5u);
+    EXPECT_EQ(g.get("b"), 10u);
+    g.reset();
+    EXPECT_EQ(g.get("a"), 0u);
+    EXPECT_EQ(g.get("b"), 0u);
+}
+
+} // namespace
+} // namespace liquid

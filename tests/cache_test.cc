@@ -1,0 +1,90 @@
+/** @file Set-associative cache model tests. */
+
+#include <gtest/gtest.h>
+
+#include "memory/cache.hh"
+
+namespace liquid
+{
+namespace
+{
+
+CacheConfig
+smallCache()
+{
+    // 4 sets x 2 ways x 32 B lines = 256 B.
+    CacheConfig config;
+    config.sizeBytes = 256;
+    config.assoc = 2;
+    config.lineSize = 32;
+    return config;
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c("c", smallCache());
+    EXPECT_FALSE(c.access(0x1000, false));
+    EXPECT_TRUE(c.access(0x1000, false));
+    EXPECT_TRUE(c.access(0x101F, false));   // same line
+    EXPECT_FALSE(c.access(0x1020, false));  // next line
+    EXPECT_EQ(c.stats().get("misses"), 2u);
+    EXPECT_EQ(c.stats().get("hits"), 2u);
+}
+
+TEST(Cache, LruEviction)
+{
+    Cache c("c", smallCache());
+    // Three lines mapping to set 0 (line addr multiples of 4*32=128).
+    EXPECT_FALSE(c.access(0 * 128, false));
+    EXPECT_FALSE(c.access(8 * 128, false));
+    EXPECT_TRUE(c.access(0 * 128, false));   // refresh line A
+    EXPECT_FALSE(c.access(16 * 128, false)); // evicts line B (LRU)
+    EXPECT_TRUE(c.access(0 * 128, false));
+    EXPECT_FALSE(c.access(8 * 128, false));  // B was evicted
+    EXPECT_EQ(c.stats().get("evictions"), 2u);
+}
+
+TEST(Cache, WritebackTracking)
+{
+    Cache c("c", smallCache());
+    c.access(0 * 128, true);   // dirty
+    c.access(8 * 128, false);
+    c.access(16 * 128, false); // evicts dirty line A
+    c.access(24 * 128, false); // evicts clean line B
+    EXPECT_EQ(c.stats().get("writebacks"), 1u);
+}
+
+TEST(Cache, RangeAccessCountsLines)
+{
+    Cache c("c", smallCache());
+    // 64 bytes spanning exactly two lines.
+    EXPECT_EQ(c.accessRange(0x1000, 64, false), 2u);
+    EXPECT_EQ(c.accessRange(0x1000, 64, false), 0u);
+    // Unaligned range straddling a third line.
+    EXPECT_EQ(c.accessRange(0x1010, 64, false), 1u);
+}
+
+TEST(Cache, FlushDropsContents)
+{
+    Cache c("c", smallCache());
+    c.access(0x2000, false);
+    EXPECT_TRUE(c.access(0x2000, false));
+    c.flush();
+    EXPECT_FALSE(c.access(0x2000, false));
+}
+
+TEST(Cache, PaperConfiguration)
+{
+    // The ARM-926EJ-S caches: 16 KB, 64-way, 32 B lines -> 8 sets.
+    CacheConfig config;
+    Cache c("dcache", config);
+    EXPECT_EQ(c.numSets(), 8u);
+    // 64 distinct lines mapping to one set all fit (64 ways).
+    for (unsigned i = 0; i < 64; ++i)
+        c.access(i * 8 * 32, false);
+    for (unsigned i = 0; i < 64; ++i)
+        EXPECT_TRUE(c.access(i * 8 * 32, false)) << i;
+}
+
+} // namespace
+} // namespace liquid

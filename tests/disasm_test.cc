@@ -1,0 +1,157 @@
+/** @file Disassembly, register naming and opcode metadata tests. */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "isa/instruction.hh"
+
+namespace liquid
+{
+namespace
+{
+
+TEST(Registers, NamesRoundTrip)
+{
+    for (unsigned flat = 0; flat < 64; ++flat) {
+        const RegId reg = RegId::fromFlat(flat);
+        EXPECT_EQ(parseRegName(regName(reg)), reg);
+        EXPECT_EQ(reg.flat(), flat);
+    }
+    EXPECT_EQ(regName(RegId(RegClass::Int, 3)), "r3");
+    EXPECT_EQ(regName(RegId(RegClass::Flt, 0)), "f0");
+    EXPECT_EQ(regName(RegId(RegClass::Vec, 15)), "v15");
+    EXPECT_EQ(regName(RegId(RegClass::VFlt, 7)), "vf7");
+    EXPECT_EQ(regName(RegId::invalid()), "--");
+}
+
+TEST(Registers, ParseRejectsJunk)
+{
+    EXPECT_FALSE(parseRegName("").isValid());
+    EXPECT_FALSE(parseRegName("r").isValid());
+    EXPECT_FALSE(parseRegName("r16").isValid());
+    EXPECT_FALSE(parseRegName("x3").isValid());
+    EXPECT_FALSE(parseRegName("vf16").isValid());
+    EXPECT_FALSE(parseRegName("r1x").isValid());
+}
+
+TEST(Registers, ScalarVectorMapping)
+{
+    EXPECT_EQ(RegId(RegClass::Int, 5).toVector(),
+              RegId(RegClass::Vec, 5));
+    EXPECT_EQ(RegId(RegClass::Flt, 9).toVector(),
+              RegId(RegClass::VFlt, 9));
+    EXPECT_EQ(RegId(RegClass::Vec, 5).toScalar(),
+              RegId(RegClass::Int, 5));
+    EXPECT_EQ(RegId(RegClass::VFlt, 9).toScalar(),
+              RegId(RegClass::Flt, 9));
+    EXPECT_TRUE(RegId(RegClass::Flt, 1).isFloat());
+    EXPECT_TRUE(RegId(RegClass::VFlt, 1).isFloat());
+    EXPECT_FALSE(RegId(RegClass::Vec, 1).isFloat());
+}
+
+TEST(Opcodes, MetadataConsistency)
+{
+    for (unsigned i = 0; i < static_cast<unsigned>(Opcode::NumOpcodes);
+         ++i) {
+        const auto op = static_cast<Opcode>(i);
+        const OpInfo &info = opInfo(op);
+        ASSERT_NE(info.name, nullptr);
+        EXPECT_EQ(parseOpcodeName(info.name), op);
+
+        // Scalar<->vector equivalences must be mutual.
+        if (info.vectorEquiv != Opcode::Nop && !info.isLoad &&
+            !info.isStore) {
+            EXPECT_EQ(opInfo(info.vectorEquiv).scalarEquiv, op)
+                << info.name;
+        }
+        if (info.isLoad || info.isStore) {
+            const Opcode other =
+                info.isVector ? info.scalarEquiv : info.vectorEquiv;
+            ASSERT_NE(other, Opcode::Nop) << info.name;
+            EXPECT_EQ(opInfo(other).memElemSize, info.memElemSize);
+            EXPECT_EQ(opInfo(other).memSigned, info.memSigned);
+        }
+        if (info.isReduction) {
+            EXPECT_TRUE(info.isVector) << info.name;
+        }
+    }
+}
+
+TEST(Disasm, PaperNotation)
+{
+    Program prog = assemble(R"(
+        .data RealOut 64
+        .rowords bfly 4 4 -4 -4
+        main:
+            mov r0, #0
+            ldw r1, [bfly + r0]
+            add r1, r0, r1
+            ldw f0, [RealOut + r1]
+            mul f2, f2, f0
+            stw [RealOut + r0 + #1], f2
+            movgt r1, #255
+            cmp r0, #128
+            blt main
+            bl.simd8 main
+            vperm.bfly8 vf0, vf0
+            vmask vf3, vf3, #0xF0/8
+            vredmin r1, v2
+            halt
+    )");
+    const auto &c = prog.code();
+    EXPECT_EQ(c[0].toString(), "mov r0, #0");
+    EXPECT_EQ(c[1].toString(), "ldw r1, [bfly + r0]");
+    EXPECT_EQ(c[2].toString(), "add r1, r0, r1");
+    EXPECT_EQ(c[3].toString(), "ldw f0, [RealOut + r1]");
+    EXPECT_EQ(c[4].toString(), "mul f2, f2, f0");
+    EXPECT_EQ(c[5].toString(), "stw [RealOut + r0 + #1], f2");
+    EXPECT_EQ(c[6].toString(), "movgt r1, #255");
+    EXPECT_EQ(c[7].toString(), "cmp r0, #128");
+    EXPECT_EQ(c[8].toString(), "blt main");
+    EXPECT_EQ(c[9].toString(), "bl.simd8 main");
+    EXPECT_EQ(c[10].toString(), "vperm.bfly8 vf0, vf0");
+    EXPECT_EQ(c[11].toString(), "vmask vf3, vf3, #0xf0/8");
+    EXPECT_EQ(c[12].toString(), "vredmin r1, v2");
+    EXPECT_EQ(c[13].toString(), "halt");
+}
+
+TEST(Disasm, UnresolvedAndNumericTargets)
+{
+    Inst b = Inst::branch(Cond::AL, 7);
+    EXPECT_EQ(b.toString(), "b 7");
+    Inst cv = Inst::dpCvec(Opcode::Vadd, RegId(RegClass::Vec, 1),
+                           RegId(RegClass::Vec, 2), 3);
+    EXPECT_EQ(cv.toString(), "vadd v1, v2, cv#3");
+}
+
+TEST(InstEquality, IgnoresSymbolsComparesSemantics)
+{
+    Inst a = Inst::branch(Cond::LT, 5, "top");
+    Inst b = Inst::branch(Cond::LT, 5, "different_name");
+    EXPECT_EQ(a, b);
+    Inst c = Inst::branch(Cond::LT, 6, "top");
+    EXPECT_NE(a, c);
+    Inst d = Inst::branch(Cond::LE, 5, "top");
+    EXPECT_NE(a, d);
+
+    Inst imm1 = Inst::movImm(RegId(RegClass::Int, 1), 4);
+    Inst imm2 = Inst::movImm(RegId(RegClass::Int, 1), 4);
+    Inst imm3 = Inst::movImm(RegId(RegClass::Int, 1), 5);
+    EXPECT_EQ(imm1, imm2);
+    EXPECT_NE(imm1, imm3);
+}
+
+TEST(Conditions, NamesAndParsing)
+{
+    for (Cond cond : {Cond::AL, Cond::EQ, Cond::NE, Cond::LT, Cond::LE,
+                      Cond::GT, Cond::GE}) {
+        Cond parsed;
+        ASSERT_TRUE(parseCondName(condName(cond), parsed));
+        EXPECT_EQ(parsed, cond);
+    }
+    Cond out;
+    EXPECT_FALSE(parseCondName("zz", out));
+}
+
+} // namespace
+} // namespace liquid

@@ -1,0 +1,148 @@
+/** @file ALU / vector-datapath semantics tests. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitfield.hh"
+#include "cpu/exec.hh"
+
+namespace liquid
+{
+namespace
+{
+
+TEST(ScalarOps, IntegerArithmetic)
+{
+    EXPECT_EQ(evalScalarOp(Opcode::Add, 3, 4, false), 7u);
+    EXPECT_EQ(evalScalarOp(Opcode::Sub, 3, 4, false),
+              static_cast<Word>(-1));
+    EXPECT_EQ(evalScalarOp(Opcode::Rsb, 3, 4, false), 1u);
+    EXPECT_EQ(evalScalarOp(Opcode::Mul, 7, 6, false), 42u);
+    // Wraparound is defined.
+    EXPECT_EQ(evalScalarOp(Opcode::Add, 0xFFFFFFFF, 1, false), 0u);
+    EXPECT_EQ(evalScalarOp(Opcode::Mul, 0x10000, 0x10000, false), 0u);
+}
+
+TEST(ScalarOps, Bitwise)
+{
+    EXPECT_EQ(evalScalarOp(Opcode::And, 0xF0F0, 0xFF00, false), 0xF000u);
+    EXPECT_EQ(evalScalarOp(Opcode::Orr, 0xF0F0, 0x0F0F, false), 0xFFFFu);
+    EXPECT_EQ(evalScalarOp(Opcode::Eor, 0xFF, 0x0F, false), 0xF0u);
+    EXPECT_EQ(evalScalarOp(Opcode::Bic, 0xFF, 0x0F, false), 0xF0u);
+}
+
+TEST(ScalarOps, Shifts)
+{
+    EXPECT_EQ(evalScalarOp(Opcode::Lsl, 1, 4, false), 16u);
+    EXPECT_EQ(evalScalarOp(Opcode::Lsr, 0x80000000, 31, false), 1u);
+    EXPECT_EQ(evalScalarOp(Opcode::Asr, 0x80000000, 31, false),
+              0xFFFFFFFFu);
+    EXPECT_EQ(evalScalarOp(Opcode::Lsl, 1, 32, false), 0u);
+    EXPECT_EQ(evalScalarOp(Opcode::Lsr, 0xFF, 32, false), 0u);
+}
+
+TEST(ScalarOps, MinMaxSigned)
+{
+    const Word neg2 = static_cast<Word>(-2);
+    EXPECT_EQ(evalScalarOp(Opcode::Min, neg2, 1, false), neg2);
+    EXPECT_EQ(evalScalarOp(Opcode::Max, neg2, 1, false), 1u);
+}
+
+TEST(ScalarOps, SaturatingArithmetic)
+{
+    EXPECT_EQ(evalScalarOp(Opcode::Qadd, 32000, 10000, false),
+              static_cast<Word>(satMax));
+    EXPECT_EQ(evalScalarOp(Opcode::Qadd, 5, 6, false), 11u);
+    EXPECT_EQ(evalScalarOp(Opcode::Qsub, static_cast<Word>(-32000),
+                           10000, false),
+              static_cast<Word>(satMin));
+    EXPECT_EQ(evalScalarOp(Opcode::Qsub, 10, 4, false), 6u);
+}
+
+TEST(ScalarOps, FloatSemanticsByClass)
+{
+    const Word a = floatToBits(1.5f);
+    const Word b = floatToBits(2.25f);
+    EXPECT_EQ(bitsToFloat(evalScalarOp(Opcode::Add, a, b, true)), 3.75f);
+    EXPECT_EQ(bitsToFloat(evalScalarOp(Opcode::Mul, a, b, true)), 3.375f);
+    EXPECT_EQ(bitsToFloat(evalScalarOp(Opcode::Sub, a, b, true)), -0.75f);
+    EXPECT_EQ(bitsToFloat(evalScalarOp(Opcode::Min, a, b, true)), 1.5f);
+    // Bitwise ops stay raw even in float mode (masking float lanes,
+    // as in the paper's FFT example).
+    EXPECT_EQ(evalScalarOp(Opcode::And, a, 0, true), 0u);
+    EXPECT_EQ(evalScalarOp(Opcode::And, a, 0xFFFFFFFF, true), a);
+}
+
+TEST(Compare, IntAndFloat)
+{
+    EXPECT_EQ(evalCompare(1, 2, false), -1);
+    EXPECT_EQ(evalCompare(2, 2, false), 0);
+    EXPECT_EQ(evalCompare(3, 2, false), 1);
+    EXPECT_EQ(evalCompare(static_cast<Word>(-1), 1, false), -1);
+    EXPECT_EQ(evalCompare(floatToBits(-0.5f), floatToBits(0.5f), true),
+              -1);
+    EXPECT_EQ(evalCompare(floatToBits(2.f), floatToBits(2.f), true), 0);
+}
+
+TEST(VectorOps, Elementwise)
+{
+    VecValue a{}, b{};
+    for (unsigned i = 0; i < 8; ++i) {
+        a[i] = i;
+        b[i] = 10 * i;
+    }
+    const auto sum = evalVectorOp(Opcode::Vadd, a, b, 8, false);
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_EQ(sum[i], 11 * i);
+    const auto mx = evalVectorOp(Opcode::Vmax, a, b, 8, false);
+    EXPECT_EQ(mx[0], 0u);
+    EXPECT_EQ(mx[3], 30u);
+}
+
+TEST(VectorOps, ConstOperandIsPeriodic)
+{
+    VecValue a{};
+    a.fill(100);
+    ConstVec cv{{1, 2}};
+    const auto out = evalVectorConstOp(Opcode::Vadd, a, cv, 8, false);
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_EQ(out[i], 100u + 1 + (i % 2));
+}
+
+TEST(VectorOps, ReductionFoldsAccumulator)
+{
+    VecValue v{};
+    for (unsigned i = 0; i < 8; ++i)
+        v[i] = i + 1;
+    EXPECT_EQ(evalReduction(Opcode::Vredadd, 100, v, 8, false), 136u);
+    EXPECT_EQ(evalReduction(Opcode::Vredmin, 3, v, 8, false), 1u);
+    EXPECT_EQ(evalReduction(Opcode::Vredmax, 3, v, 8, false), 8u);
+}
+
+TEST(VectorOps, MaskZeroesUnselectedLanes)
+{
+    VecValue v{};
+    v.fill(0xAAAA);
+    const auto out = evalMask(v, 0xF0, 8, 8);
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_EQ(out[i], i >= 4 ? 0xAAAAu : 0u);
+
+    // Periodic mask: block 2 over 8 lanes keeps even lanes.
+    const auto out2 = evalMask(v, 0x1, 2, 8);
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_EQ(out2[i], i % 2 == 0 ? 0xAAAAu : 0u);
+}
+
+TEST(VectorOps, PermBlockRepeats)
+{
+    VecValue v{};
+    for (unsigned i = 0; i < 8; ++i)
+        v[i] = i;
+    // SwapHalves block 4 over 8 lanes: [2,3,0,1, 6,7,4,5].
+    const auto out = evalPerm(v, PermKind::SwapHalves, 4, 8);
+    const Word expect[8] = {2, 3, 0, 1, 6, 7, 4, 5};
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_EQ(out[i], expect[i]);
+}
+
+} // namespace
+} // namespace liquid

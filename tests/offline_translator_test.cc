@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Offline (static) binary translation tests: the offline path must
+ * agree instruction-for-instruction with the hardware translator on
+ * every workload kernel, install with zero runtime latency, and fall
+ * back across widths the same way.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "sim/system.hh"
+#include "translator/offline.hh"
+#include "workloads/workload.hh"
+
+namespace liquid
+{
+namespace
+{
+
+TEST(OfflineTranslator, AgreesWithHardwareTranslatorOnSuite)
+{
+    for (const auto &wl : makeSuite()) {
+        const auto build = wl->build(EmitOptions::Mode::Scalarized);
+
+        // Hardware translation: run the system once.
+        System sys(SystemConfig::make(ExecMode::Liquid, 8), build.prog);
+        sys.run();
+
+        for (unsigned k = 0; k < build.kernelEntries.size(); ++k) {
+            const Addr entry = build.kernelEntries[k];
+            const UcodeEntry *hw = sys.ucodeCache().lookup(
+                entry, sys.cycles() + 1'000'000);
+
+            const int entry_index =
+                static_cast<int>((entry - Program::codeBase) / 4);
+            const unsigned hint = wl->makeKernels()[k].maxWidth();
+            // Mirror the dynamic width fallback.
+            OfflineResult off;
+            for (unsigned w = std::min(8u, hint); w >= 2; w /= 2) {
+                off = translateOffline(build.prog, entry_index, w, hint);
+                if (off.ok)
+                    break;
+            }
+
+            ASSERT_EQ(hw != nullptr, off.ok)
+                << wl->name() << " kernel " << k
+                << (off.ok ? "" : " offline abort: " + off.abortReason);
+            if (!hw)
+                continue;
+            EXPECT_EQ(off.entry.simdWidth, hw->simdWidth)
+                << wl->name() << " kernel " << k;
+            ASSERT_EQ(off.entry.insts.size(), hw->insts.size())
+                << wl->name() << " kernel " << k;
+            for (std::size_t i = 0; i < hw->insts.size(); ++i) {
+                EXPECT_EQ(off.entry.insts[i], hw->insts[i])
+                    << wl->name() << " kernel " << k << " microinst "
+                    << i << ": offline '"
+                    << off.entry.insts[i].toString() << "' vs hw '"
+                    << hw->insts[i].toString() << "'";
+            }
+            ASSERT_EQ(off.entry.cvecs.size(), hw->cvecs.size());
+            for (std::size_t c = 0; c < hw->cvecs.size(); ++c)
+                EXPECT_EQ(off.entry.cvecs[c].lanes, hw->cvecs[c].lanes);
+        }
+    }
+}
+
+TEST(OfflineTranslator, PretranslatedSystemSkipsFirstCallPenalty)
+{
+    for (const auto &wl : makeSuite()) {
+        if (wl->name() != "fir")
+            continue;
+        const auto build = wl->build(EmitOptions::Mode::Scalarized);
+
+        SystemConfig runtime = SystemConfig::make(ExecMode::Liquid, 8);
+        System dynamic(runtime, build.prog);
+        dynamic.run();
+
+        SystemConfig offline = runtime;
+        offline.pretranslate = true;
+        System pre(offline, build.prog);
+        pre.run();
+
+        // Offline binding removes the scalar first call entirely.
+        EXPECT_LT(pre.cycles(), dynamic.cycles());
+        EXPECT_EQ(pre.translator().stats().get("capturesStarted"), 0u)
+            << "pretranslated regions must not be re-captured";
+        EXPECT_GT(pre.core().stats().get("ucodeDispatches"),
+                  dynamic.core().stats().get("ucodeDispatches"));
+
+        // And the results agree.
+        for (const auto &[name, words] : wl->allOutputs()) {
+            EXPECT_EQ(Workload::readArray(build.prog, pre.memory(),
+                                          name, words),
+                      Workload::readArray(build.prog, dynamic.memory(),
+                                          name, words))
+                << name;
+        }
+    }
+}
+
+TEST(OfflineTranslator, ReportsAbortReasons)
+{
+    const Program prog = assemble(R"(
+        .words a 1 2 3 4 5 6 7 8 9 10 11 12 13
+        .data b 52
+        fn:
+            mov r0, #0
+        top:
+            ldw r1, [a + r0]
+            stw [b + r0], r1
+            add r0, r0, #1
+            cmp r0, #13
+            blt top
+            ret
+        main:
+            halt
+    )");
+    const OfflineResult r =
+        translateOffline(prog, prog.labelIndex("fn"), 8);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.abortReason, "tripCount");
+}
+
+TEST(OfflineTranslator, WidthFallbackInPretranslation)
+{
+    const Program prog = assemble(R"(
+        .words a 1 2 3 4 5 6 7 8 9 10 11 12
+        .data b 48
+        fn:
+            mov r0, #0
+        top:
+            ldw r1, [a + r0]
+            stw [b + r0], r1
+            add r0, r0, #1
+            cmp r0, #12
+            blt top
+            ret
+        main:
+            bl.simd fn
+            halt
+    )");
+    UcodeCache cache(UcodeCacheConfig{});
+    EXPECT_EQ(pretranslateProgram(prog, 8, cache), 1u);
+    const UcodeEntry *uc = cache.lookup(
+        Program::instAddr(prog.labelIndex("fn")), 0);
+    ASSERT_NE(uc, nullptr);
+    EXPECT_EQ(uc->simdWidth, 4u);  // 12 % 8 != 0, binds at 4
+}
+
+TEST(OfflineTranslator, HonoursCompiledWidthHint)
+{
+    const Program prog = assemble(R"(
+        .words a 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16
+        .data b 64
+        fn:
+            mov r0, #0
+        top:
+            ldw r1, [a + r0]
+            stw [b + r0], r1
+            add r0, r0, #1
+            cmp r0, #16
+            blt top
+            ret
+        main:
+            bl.simd4 fn
+            halt
+    )");
+    UcodeCache cache(UcodeCacheConfig{});
+    EXPECT_EQ(pretranslateProgram(prog, 16, cache), 1u);
+    const UcodeEntry *uc = cache.lookup(
+        Program::instAddr(prog.labelIndex("fn")), 0);
+    ASSERT_NE(uc, nullptr);
+    EXPECT_EQ(uc->simdWidth, 4u)
+        << "data is only aligned to the compiled width";
+}
+
+} // namespace
+} // namespace liquid

@@ -1,0 +1,137 @@
+/** @file Permutation pattern and CAM tests. */
+
+#include <gtest/gtest.h>
+
+#include "cpu/exec.hh"
+#include "isa/perm.hh"
+
+namespace liquid
+{
+namespace
+{
+
+TEST(Perm, SwapHalvesOffsets)
+{
+    const auto offsets = permOffsets(PermKind::SwapHalves, 8);
+    const std::vector<std::int32_t> expect{4, 4, 4, 4, -4, -4, -4, -4};
+    EXPECT_EQ(offsets, expect);
+}
+
+TEST(Perm, SwapPairsOffsets)
+{
+    const auto offsets = permOffsets(PermKind::SwapPairs, 4);
+    const std::vector<std::int32_t> expect{1, -1, 1, -1};
+    EXPECT_EQ(offsets, expect);
+}
+
+TEST(Perm, ReverseOffsets)
+{
+    const auto offsets = permOffsets(PermKind::Reverse, 4);
+    const std::vector<std::int32_t> expect{3, 1, -1, -3};
+    EXPECT_EQ(offsets, expect);
+}
+
+TEST(Perm, RotationOffsets)
+{
+    const auto up = permOffsets(PermKind::RotUp, 4);
+    EXPECT_EQ(up, (std::vector<std::int32_t>{1, 1, 1, -3}));
+    const auto down = permOffsets(PermKind::RotDown, 4);
+    EXPECT_EQ(down, (std::vector<std::int32_t>{3, -1, -1, -1}));
+}
+
+/** Every (kind, block) pattern must CAM back to itself (or an exact
+ *  functional equivalent at a smaller block). */
+TEST(Perm, CamRoundTripAllPatterns)
+{
+    for (unsigned width : {2u, 4u, 8u, 16u}) {
+        for (unsigned block = 2; block <= width; block *= 2) {
+            for (unsigned ki = 0;
+                 ki < static_cast<unsigned>(PermKind::NumKinds); ++ki) {
+                const auto kind = static_cast<PermKind>(ki);
+                // Observed offsets over one full vector.
+                std::vector<std::int32_t> offsets;
+                const auto pattern = permOffsets(kind, block);
+                for (unsigned i = 0; i < width; ++i)
+                    offsets.push_back(pattern[i % block]);
+
+                const auto match = permCamLookup(offsets, width);
+                ASSERT_TRUE(match.has_value())
+                    << permKindName(kind) << block << " @" << width;
+
+                // The matched permutation must act identically.
+                VecValue src{};
+                for (unsigned i = 0; i < width; ++i)
+                    src[i] = 100 + i;
+                const auto a = evalPerm(src, kind, block, width);
+                const auto b =
+                    evalPerm(src, match->kind, match->block, width);
+                for (unsigned i = 0; i < width; ++i)
+                    EXPECT_EQ(a[i], b[i]);
+            }
+        }
+    }
+}
+
+TEST(Perm, CamRejectsUnsupported)
+{
+    // A block-8 butterfly observed by a 4-wide translator: constant +4
+    // offsets; no supported narrow shuffle matches.
+    const std::vector<std::int32_t> wide_bfly{4, 4, 4, 4};
+    EXPECT_FALSE(permCamLookup(wide_bfly, 4).has_value());
+
+    // Garbage offsets.
+    const std::vector<std::int32_t> junk{2, 0, -1, 3};
+    EXPECT_FALSE(permCamLookup(junk, 4).has_value());
+
+    EXPECT_FALSE(permCamLookup({}, 8).has_value());
+}
+
+TEST(Perm, InversePairs)
+{
+    EXPECT_EQ(permInverse(PermKind::SwapHalves), PermKind::SwapHalves);
+    EXPECT_EQ(permInverse(PermKind::SwapPairs), PermKind::SwapPairs);
+    EXPECT_EQ(permInverse(PermKind::Reverse), PermKind::Reverse);
+    EXPECT_EQ(permInverse(PermKind::RotUp), PermKind::RotDown);
+    EXPECT_EQ(permInverse(PermKind::RotDown), PermKind::RotUp);
+}
+
+/** perm(inverse(perm(x))) == x for every kind/block/width. */
+TEST(Perm, InverseUndoes)
+{
+    for (unsigned width : {4u, 8u, 16u}) {
+        for (unsigned block = 2; block <= width; block *= 2) {
+            for (unsigned ki = 0;
+                 ki < static_cast<unsigned>(PermKind::NumKinds); ++ki) {
+                const auto kind = static_cast<PermKind>(ki);
+                VecValue src{};
+                for (unsigned i = 0; i < width; ++i)
+                    src[i] = 7 * i + 3;
+                const auto fwd = evalPerm(src, kind, block, width);
+                const auto back =
+                    evalPerm(fwd, permInverse(kind), block, width);
+                for (unsigned i = 0; i < width; ++i)
+                    EXPECT_EQ(back[i], src[i]);
+            }
+        }
+    }
+}
+
+/** The offset array is exactly "source lane minus lane". */
+TEST(Perm, OffsetsConsistentWithSourceLane)
+{
+    for (unsigned block : {2u, 4u, 8u, 16u}) {
+        for (unsigned ki = 0;
+             ki < static_cast<unsigned>(PermKind::NumKinds); ++ki) {
+            const auto kind = static_cast<PermKind>(ki);
+            const auto offsets = permOffsets(kind, block);
+            for (unsigned i = 0; i < block; ++i) {
+                EXPECT_EQ(
+                    static_cast<int>(permSourceLane(kind, block, i)),
+                    static_cast<int>(i) + offsets[i]);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace liquid

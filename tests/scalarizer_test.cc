@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Scalarizer tests: Table 1 emission rules, loop fission, outlining,
+ * rejection diagnostics, and scalar/native equivalence on a plain core.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core.hh"
+#include "memory/main_memory.hh"
+#include "scalarizer/scalarizer.hh"
+#include "sim/system.hh"
+#include "workloads/vir_interp.hh"
+
+namespace liquid
+{
+namespace
+{
+
+using vir::Kernel;
+
+/** Count instructions of each opcode in a program range. */
+unsigned
+countOp(const Program &prog, Opcode op)
+{
+    unsigned n = 0;
+    for (const auto &inst : prog.code())
+        n += inst.op == op;
+    return n;
+}
+
+Program
+progWithArrays(unsigned n)
+{
+    Program prog;
+    std::vector<Word> a(n + 16), b(n + 16);
+    for (unsigned i = 0; i < a.size(); ++i) {
+        a[i] = i + 1;
+        b[i] = 2 * i;
+    }
+    prog.allocWords("a", a);
+    prog.allocWords("b", b);
+    prog.allocData("c", (n + 16) * 4);
+    prog.allocData("d", (n + 16) * 4);
+    return prog;
+}
+
+void
+finishMain(Program &prog, const std::string &fn)
+{
+    prog.defineLabel("main");
+    prog.addInst(Inst::call(-1, true, fn));
+    prog.addInst(Inst::halt());
+    prog.resolveBranches();
+}
+
+TEST(Scalarizer, ElementwiseKernelShape)
+{
+    Program prog = progWithArrays(32);
+    Kernel k("k", 32);
+    const int va = k.load("a");
+    const int vb = k.load("b");
+    k.store("c", k.bin(Opcode::Add, va, vb));
+
+    EmitOptions opts;
+    const EmitResult r = emitKernel(prog, k, opts);
+    EXPECT_EQ(r.entryLabel, "k");
+    EXPECT_EQ(r.numStages, 1u);
+    // mov; ldw; ldw; add; stw; add; cmp; blt; ret
+    EXPECT_EQ(r.instCount, 9u);
+    EXPECT_EQ(countOp(prog, Opcode::Ret), 1u);
+
+    finishMain(prog, "k");
+    MainMemory mem = MainMemory::forProgram(prog);
+    Core core(CoreConfig{}, prog, mem);
+    core.run();
+    const Addr c = prog.symbol("c");
+    for (unsigned i = 0; i < 32; ++i)
+        EXPECT_EQ(mem.readWord(c + 4 * i), (i + 1) + 2 * i);
+}
+
+TEST(Scalarizer, PermutationUsesOffsetArray)
+{
+    Program prog = progWithArrays(16);
+    Kernel k("k", 16);
+    const int va = k.load("a");
+    const int p = k.perm(va, PermKind::Reverse, 4);
+    k.store("c", p);
+
+    const EmitResult r = emitKernel(prog, k, EmitOptions{});
+    EXPECT_EQ(r.numStages, 1u);  // load-fused
+
+    // A read-only offset table must exist holding the periodic offsets.
+    ASSERT_TRUE(prog.hasSymbol("k_ro0"));
+    EXPECT_TRUE(prog.isReadOnly(prog.symbol("k_ro0")));
+    const Addr tab = prog.symbol("k_ro0") - Program::dataBase;
+    const auto &img = prog.dataImage();
+    const std::int32_t expect[4] = {3, 1, -1, -3};
+    for (unsigned i = 0; i < 16; ++i) {
+        const Word w = static_cast<Word>(img[tab + 4 * i]) |
+                       (static_cast<Word>(img[tab + 4 * i + 1]) << 8) |
+                       (static_cast<Word>(img[tab + 4 * i + 2]) << 16) |
+                       (static_cast<Word>(img[tab + 4 * i + 3]) << 24);
+        EXPECT_EQ(static_cast<std::int32_t>(w), expect[i % 4]);
+    }
+
+    finishMain(prog, "k");
+    MainMemory mem = MainMemory::forProgram(prog);
+    Core core(CoreConfig{}, prog, mem);
+    core.run();
+    const Addr c = prog.symbol("c");
+    for (unsigned i = 0; i < 16; ++i) {
+        const unsigned src = (i / 4) * 4 + (3 - i % 4);
+        EXPECT_EQ(mem.readWord(c + 4 * i), src + 1);
+    }
+}
+
+TEST(Scalarizer, ComputedPermutationForcesFission)
+{
+    Program prog = progWithArrays(16);
+    Kernel k("k", 16);
+    const int va = k.load("a");
+    const int vb = k.load("b");
+    const int sum = k.bin(Opcode::Add, va, vb);           // computed
+    const int p = k.perm(sum, PermKind::SwapHalves, 4);
+    k.store("c", k.bin(Opcode::Orr, p, vb));              // non-store use
+
+    const EmitResult r = emitKernel(prog, k, EmitOptions{});
+    EXPECT_EQ(r.numStages, 2u) << "unfusable permutation must split "
+                                  "the loop (paper Section 3.4)";
+    // Two loops -> two backward branches; tmp arrays allocated.
+    EXPECT_EQ(countOp(prog, Opcode::B), 2u);
+    EXPECT_TRUE(prog.hasSymbol("k_tmp0"));
+
+    finishMain(prog, "k");
+    MainMemory mem = MainMemory::forProgram(prog);
+    Core core(CoreConfig{}, prog, mem);
+    core.run();
+    // Check against the IR interpreter.
+    MainMemory golden = MainMemory::forProgram(prog);
+    interpretKernel(k, prog, golden);
+    const Addr c = prog.symbol("c");
+    for (unsigned i = 0; i < 16; ++i)
+        EXPECT_EQ(mem.readWord(c + 4 * i), golden.readWord(c + 4 * i));
+}
+
+TEST(Scalarizer, StoreFusedPermutationStaysSingleLoop)
+{
+    Program prog = progWithArrays(16);
+    Kernel k("k", 16);
+    const int va = k.load("a");
+    const int vb = k.load("b");
+    const int sum = k.bin(Opcode::Add, va, vb);
+    const int p = k.perm(sum, PermKind::SwapPairs, 2);
+    k.store("c", p);  // only consumer is a store -> fuse
+
+    const EmitResult r = emitKernel(prog, k, EmitOptions{});
+    EXPECT_EQ(r.numStages, 1u);
+
+    finishMain(prog, "k");
+    MainMemory mem = MainMemory::forProgram(prog);
+    Core core(CoreConfig{}, prog, mem);
+    core.run();
+    MainMemory golden = MainMemory::forProgram(prog);
+    interpretKernel(k, prog, golden);
+    const Addr c = prog.symbol("c");
+    for (unsigned i = 0; i < 16; ++i)
+        EXPECT_EQ(mem.readWord(c + 4 * i), golden.readWord(c + 4 * i));
+}
+
+TEST(Scalarizer, SaturationIdiomEmitted)
+{
+    Program prog = progWithArrays(16);
+    Kernel k("k", 16);
+    const int va = k.load("a");
+    const int vb = k.load("b");
+    k.store("c", k.bin(Opcode::Qadd, va, vb));
+
+    emitKernel(prog, k, EmitOptions{});
+    // No scalar qadd opcode: the cmp/conditional-mov idiom instead.
+    EXPECT_EQ(countOp(prog, Opcode::Qadd), 0u);
+    EXPECT_EQ(countOp(prog, Opcode::Cmp), 3u);  // 2 idiom + 1 loop
+    unsigned cond_movs = 0;
+    for (const auto &inst : prog.code())
+        cond_movs += inst.op == Opcode::Mov && inst.cond != Cond::AL;
+    EXPECT_EQ(cond_movs, 2u);
+}
+
+TEST(Scalarizer, ReductionUsesLoopCarriedRegister)
+{
+    Program prog = progWithArrays(16);
+    Kernel k("k", 16);
+    const int acc = k.newAcc("mx", Opcode::Max,
+                             static_cast<Word>(-2147483647));
+    k.reduce(acc, k.load("a"));
+
+    const EmitResult r = emitKernel(prog, k, EmitOptions{});
+    ASSERT_EQ(r.accRegs.size(), 1u);
+    EXPECT_EQ(countOp(prog, Opcode::Max), 1u);
+
+    finishMain(prog, "k");
+    MainMemory mem = MainMemory::forProgram(prog);
+    Core core(CoreConfig{}, prog, mem);
+    core.run();
+    EXPECT_EQ(core.regs().read(r.accRegs[0]), 16u);  // max of 1..16
+}
+
+TEST(Scalarizer, NativeEmissionUsesVectorIsa)
+{
+    Program prog = progWithArrays(32);
+    Kernel k("k", 32);
+    const int va = k.load("a");
+    const int vb = k.load("b");
+    k.store("c", k.bin(Opcode::Add, va, vb));
+
+    EmitOptions opts;
+    opts.mode = EmitOptions::Mode::Native;
+    opts.nativeWidth = 8;
+    const EmitResult r = emitKernel(prog, k, opts);
+    EXPECT_EQ(countOp(prog, Opcode::Vldw), 2u);
+    EXPECT_EQ(countOp(prog, Opcode::Vadd), 1u);
+    EXPECT_EQ(countOp(prog, Opcode::Vstw), 1u);
+    // Loop strides by the accelerator width.
+    bool found_stride = false;
+    for (const auto &inst : prog.code()) {
+        if (inst.op == Opcode::Add && inst.hasImm && inst.imm == 8)
+            found_stride = true;
+    }
+    EXPECT_TRUE(found_stride);
+    (void)r;
+
+    finishMain(prog, "k");
+    CoreConfig config;
+    config.simdWidth = 8;
+    MainMemory mem = MainMemory::forProgram(prog);
+    Core core(config, prog, mem);
+    core.run();
+    const Addr c = prog.symbol("c");
+    for (unsigned i = 0; i < 32; ++i)
+        EXPECT_EQ(mem.readWord(c + 4 * i), (i + 1) + 2 * i);
+}
+
+TEST(Scalarizer, InlineModeHasNoCallBoundary)
+{
+    Program prog = progWithArrays(16);
+    Kernel k("k", 16);
+    k.store("c", k.binImm(Opcode::Add, k.load("a"), 5));
+
+    prog.defineLabel("main");
+    EmitOptions opts;
+    opts.mode = EmitOptions::Mode::InlineScalar;
+    const EmitResult r = emitKernel(prog, k, opts);
+    EXPECT_TRUE(r.entryLabel.empty());
+    prog.addInst(Inst::halt());
+    prog.resolveBranches();
+    EXPECT_EQ(countOp(prog, Opcode::Ret), 0u);
+    EXPECT_EQ(countOp(prog, Opcode::Bl), 0u);
+
+    MainMemory mem = MainMemory::forProgram(prog);
+    Core core(CoreConfig{}, prog, mem);
+    core.run();
+    EXPECT_EQ(mem.readWord(prog.symbol("c")), 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Rejection diagnostics (paper Section 3.3 limitations).
+// ---------------------------------------------------------------------------
+
+TEST(ScalarizerRejects, TableLookup)
+{
+    Program prog = progWithArrays(16);
+    Kernel k("k", 16);
+    const int idx = k.load("a");
+    const int tab = k.load("b");
+    k.store("c", k.tableLookup(idx, tab));
+    EXPECT_THROW(emitKernel(prog, k, EmitOptions{}), FatalError);
+}
+
+TEST(ScalarizerRejects, InterleavedAccess)
+{
+    Program prog = progWithArrays(16);
+    Kernel k("k", 16);
+    k.store("c", k.interleavedLoad("a", 2));
+    EXPECT_THROW(emitKernel(prog, k, EmitOptions{}), FatalError);
+}
+
+TEST(ScalarizerRejects, MisalignedTripCount)
+{
+    Program prog = progWithArrays(20);
+    Kernel k("k", 20, 16);  // 20 % 16 != 0
+    k.store("c", k.load("a"));
+    EXPECT_THROW(emitKernel(prog, k, EmitOptions{}), FatalError);
+}
+
+TEST(ScalarizerRejects, StoreRunningAheadOfLoad)
+{
+    Program prog = progWithArrays(16);
+    Kernel k("k", 16);
+    const int va = k.load("a");      // a[i]
+    k.store("a", va, 1);             // a[i+1] — hazard
+    EXPECT_THROW(emitKernel(prog, k, EmitOptions{}), FatalError);
+}
+
+TEST(ScalarizerRejects, NativeWidthBelowPermutationBlock)
+{
+    Program prog = progWithArrays(16);
+    Kernel k("k", 16);
+    k.store("c", k.perm(k.load("a"), PermKind::SwapHalves, 8));
+    EmitOptions opts;
+    opts.mode = EmitOptions::Mode::Native;
+    opts.nativeWidth = 4;
+    EXPECT_THROW(emitKernel(prog, k, opts), FatalError);
+}
+
+} // namespace
+} // namespace liquid

@@ -1,0 +1,72 @@
+/** @file Execution-trace tests: format and scalar/microcode marking. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "asm/assembler.hh"
+#include "sim/system.hh"
+
+namespace liquid
+{
+namespace
+{
+
+TEST(Trace, ScalarAndMicrocodeLines)
+{
+    Program prog = assemble(R"(
+        .words a 1 2 3 4 5 6 7 8
+        .data b 32
+        fn:
+            mov r0, #0
+        top:
+            ldw r1, [a + r0]
+            stw [b + r0], r1
+            add r0, r0, #1
+            cmp r0, #8
+            blt top
+            ret
+        main:
+            bl.simd fn
+            bl.simd fn
+            halt
+    )");
+    SystemConfig config = SystemConfig::make(ExecMode::Liquid, 8);
+    config.translator.latencyPerInst = 0;
+    System sys(config, prog);
+    std::ostringstream trace;
+    sys.core().setTrace(&trace);
+    sys.run();
+
+    const std::string text = trace.str();
+    // Scalar first call traced with program indices.
+    EXPECT_NE(text.find("ldw r1, [a + r0]"), std::string::npos);
+    // Second call traced as microcode ('u' marker + vector opcodes).
+    EXPECT_NE(text.find("  u"), std::string::npos);
+    EXPECT_NE(text.find("vldw v1, [a + r0]"), std::string::npos);
+    EXPECT_NE(text.find("add r0, r0, #8"), std::string::npos);
+    EXPECT_NE(text.find("halt"), std::string::npos);
+
+    // One line per retired instruction.
+    const std::uint64_t insts = sys.core().stats().get("insts");
+    std::uint64_t lines = 0;
+    for (const char c : text)
+        lines += c == '\n';
+    EXPECT_EQ(lines, insts);
+}
+
+TEST(Trace, DisabledByDefault)
+{
+    Program prog = assemble(R"(
+        main:
+            mov r0, #1
+            halt
+    )");
+    MainMemory mem = MainMemory::forProgram(prog);
+    Core core(CoreConfig{}, prog, mem);
+    core.run();  // must not crash without a trace sink
+    EXPECT_TRUE(core.halted());
+}
+
+} // namespace
+} // namespace liquid

@@ -1,0 +1,90 @@
+/** @file Microcode cache tests (8 x 64-instruction entries, LRU). */
+
+#include <gtest/gtest.h>
+
+#include "memory/ucode_cache.hh"
+
+namespace liquid
+{
+namespace
+{
+
+UcodeEntry
+entry(Addr addr, Cycles ready_at = 0, unsigned insts = 4)
+{
+    UcodeEntry e;
+    e.entryAddr = addr;
+    e.insts.resize(insts, Inst::nop());
+    e.simdWidth = 8;
+    e.readyAt = ready_at;
+    return e;
+}
+
+TEST(UcodeCache, HitAfterInsert)
+{
+    UcodeCache cache(UcodeCacheConfig{});
+    cache.insert(entry(0x1000));
+    EXPECT_NE(cache.lookup(0x1000, 100), nullptr);
+    EXPECT_EQ(cache.lookup(0x2000, 100), nullptr);
+}
+
+TEST(UcodeCache, NotReadyUntilTranslationLatencyElapses)
+{
+    UcodeCache cache(UcodeCacheConfig{});
+    cache.insert(entry(0x1000, /*ready_at=*/500));
+    EXPECT_EQ(cache.lookup(0x1000, 499), nullptr);
+    EXPECT_NE(cache.lookup(0x1000, 500), nullptr);
+    EXPECT_EQ(cache.stats().get("notReadyMisses"), 1u);
+}
+
+TEST(UcodeCache, LruEvictionAtCapacity)
+{
+    UcodeCacheConfig config;
+    config.entries = 2;
+    UcodeCache cache(config);
+    cache.insert(entry(0x1000));
+    cache.insert(entry(0x2000));
+    // Touch 0x1000 so 0x2000 becomes LRU.
+    EXPECT_NE(cache.lookup(0x1000, 0), nullptr);
+    cache.insert(entry(0x3000));
+    EXPECT_NE(cache.lookup(0x1000, 0), nullptr);
+    EXPECT_EQ(cache.lookup(0x2000, 0), nullptr);
+    EXPECT_NE(cache.lookup(0x3000, 0), nullptr);
+    EXPECT_EQ(cache.stats().get("evictions"), 1u);
+}
+
+TEST(UcodeCache, ReplacesStaleTranslationOfSameRegion)
+{
+    UcodeCache cache(UcodeCacheConfig{});
+    cache.insert(entry(0x1000, 0, 4));
+    cache.insert(entry(0x1000, 0, 6));
+    const UcodeEntry *e = cache.lookup(0x1000, 0);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->insts.size(), 6u);
+    EXPECT_EQ(cache.stats().get("replacements"), 1u);
+}
+
+TEST(UcodeCache, ContainsIgnoresReadiness)
+{
+    UcodeCache cache(UcodeCacheConfig{});
+    cache.insert(entry(0x1000, 10'000));
+    EXPECT_TRUE(cache.contains(0x1000));
+    EXPECT_FALSE(cache.contains(0x2000));
+}
+
+TEST(UcodeCache, FlushEmpties)
+{
+    UcodeCache cache(UcodeCacheConfig{});
+    cache.insert(entry(0x1000));
+    cache.flush();
+    EXPECT_FALSE(cache.contains(0x1000));
+}
+
+TEST(UcodeCacheDeath, OversizedEntryPanics)
+{
+    UcodeCache cache(UcodeCacheConfig{});
+    EXPECT_THROW(cache.insert(entry(0x1000, 0, 65)), PanicError);
+}
+
+} // namespace
+} // namespace liquid

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * liquid-run: command-line driver for the Liquid SIMD simulator.
+ *
+ * Assembles a .s file (see src/asm/assembler.hh for the syntax) and
+ * runs it on a configurable system.
+ *
+ *   liquid-run prog.s                      # Liquid mode, 8 lanes
+ *   liquid-run --mode scalar prog.s        # no SIMD accelerator
+ *   liquid-run --mode native -w 16 prog.s  # native vector ISA
+ *   liquid-run --trace --ucode prog.s      # full visibility
+ *   liquid-run --pretranslate prog.s       # offline binary translation
+ *   liquid-run --sweep prog.s              # widths 2/4/8/16 summary
+ */
+
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "asm/assembler.hh"
+#include "sim/system.hh"
+
+using namespace liquid;
+
+namespace
+{
+
+struct Options
+{
+    std::string file;
+    ExecMode mode = ExecMode::Liquid;
+    unsigned width = 8;
+    bool trace = false;
+    bool stats = false;
+    bool ucode = false;
+    bool listing = false;
+    bool pretranslate = false;
+    bool sweep = false;
+    Cycles latency = 1;
+};
+
+void
+usage()
+{
+    std::cout <<
+        "usage: liquid-run [options] program.s\n"
+        "  --mode scalar|liquid|native   execution mode (liquid)\n"
+        "  -w, --width N                 SIMD lanes: 2/4/8/16 (8)\n"
+        "  --latency N                   translation cycles/inst (1)\n"
+        "  --pretranslate                offline binary translation\n"
+        "  --trace                       per-instruction trace\n"
+        "  --stats                       dump all statistic counters\n"
+        "  --ucode                       print translated microcode\n"
+        "  --listing                     print the assembled program\n"
+        "  --sweep                       run at widths 2/4/8/16\n";
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << arg << '\n';
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--mode") {
+            const char *v = next();
+            if (!v)
+                return false;
+            const std::string m = v;
+            if (m == "scalar")
+                opt.mode = ExecMode::ScalarBaseline;
+            else if (m == "liquid")
+                opt.mode = ExecMode::Liquid;
+            else if (m == "native")
+                opt.mode = ExecMode::NativeSimd;
+            else {
+                std::cerr << "unknown mode '" << m << "'\n";
+                return false;
+            }
+        } else if (arg == "-w" || arg == "--width") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.width = static_cast<unsigned>(std::stoul(v));
+        } else if (arg == "--latency") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.latency = std::stoull(v);
+        } else if (arg == "--trace") {
+            opt.trace = true;
+        } else if (arg == "--stats") {
+            opt.stats = true;
+        } else if (arg == "--ucode") {
+            opt.ucode = true;
+        } else if (arg == "--listing") {
+            opt.listing = true;
+        } else if (arg == "--pretranslate") {
+            opt.pretranslate = true;
+        } else if (arg == "--sweep") {
+            opt.sweep = true;
+        } else if (arg == "-h" || arg == "--help") {
+            usage();
+            std::exit(0);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "unknown option '" << arg << "'\n";
+            return false;
+        } else if (opt.file.empty()) {
+            opt.file = arg;
+        } else {
+            std::cerr << "multiple input files\n";
+            return false;
+        }
+    }
+    if (opt.file.empty()) {
+        usage();
+        return false;
+    }
+    return true;
+}
+
+Cycles
+runOnce(const Program &prog, const Options &opt, ExecMode mode,
+        unsigned width, bool verbose)
+{
+    SystemConfig config = SystemConfig::make(mode, width);
+    config.translator.latencyPerInst = opt.latency;
+    config.pretranslate = opt.pretranslate;
+    System sys(config, prog);
+    if (opt.trace && verbose)
+        sys.core().setTrace(&std::cout);
+    sys.run();
+
+    if (verbose) {
+        std::cout << "cycles: " << sys.cycles() << '\n'
+                  << "insts:  " << sys.core().stats().get("insts")
+                  << '\n';
+        if (mode == ExecMode::Liquid) {
+            std::cout << "translations: "
+                      << sys.translator().stats().get("translations")
+                      << ", aborts: "
+                      << sys.translator().stats().get("aborts")
+                      << ", microcode dispatches: "
+                      << sys.core().stats().get("ucodeDispatches")
+                      << '\n';
+        }
+        if (opt.stats) {
+            sys.core().stats().dump(std::cout);
+            sys.core().icache().stats().dump(std::cout);
+            sys.core().dcache().stats().dump(std::cout);
+            if (mode == ExecMode::Liquid) {
+                sys.translator().stats().dump(std::cout);
+                sys.ucodeCache().stats().dump(std::cout);
+            }
+        }
+        if (opt.ucode && mode == ExecMode::Liquid) {
+            std::set<Addr> printed;
+            for (const auto &inst : prog.code()) {
+                if (inst.op != Opcode::Bl || inst.target < 0)
+                    continue;
+                if (!printed.insert(Program::instAddr(inst.target))
+                         .second)
+                    continue;
+                const Addr entry = Program::instAddr(inst.target);
+                const UcodeEntry *uc = sys.ucodeCache().lookup(
+                    entry, sys.cycles() + 1'000'000);
+                if (!uc)
+                    continue;
+                std::cout << "microcode for "
+                          << (inst.targetSym.empty()
+                                  ? std::to_string(inst.target)
+                                  : inst.targetSym)
+                          << " (width " << uc->simdWidth << "):\n";
+                for (const auto &u : uc->insts)
+                    std::cout << "    " << u.toString() << '\n';
+            }
+        }
+    }
+    return sys.cycles();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt))
+        return 2;
+
+    std::ifstream in(opt.file);
+    if (!in) {
+        std::cerr << "cannot open '" << opt.file << "'\n";
+        return 2;
+    }
+    std::ostringstream source;
+    source << in.rdbuf();
+
+    try {
+        Program prog = assemble(source.str());
+        if (opt.listing)
+            std::cout << prog.listing();
+
+        if (opt.sweep) {
+            const Cycles base = runOnce(prog, opt,
+                                        ExecMode::ScalarBaseline, 0,
+                                        false);
+            std::cout << "scalar baseline: " << base << " cycles\n";
+            for (unsigned width : {2u, 4u, 8u, 16u}) {
+                const Cycles c =
+                    runOnce(prog, opt, ExecMode::Liquid, width, false);
+                std::cout << "liquid W=" << width << ":     " << c
+                          << " cycles  ("
+                          << static_cast<double>(base) /
+                                 static_cast<double>(c)
+                          << "x)\n";
+            }
+            return 0;
+        }
+
+        runOnce(prog, opt, opt.mode, opt.width, true);
+    } catch (const FatalError &e) {
+        std::cerr << e.what() << '\n';
+        return 1;
+    } catch (const PanicError &e) {
+        std::cerr << e.what() << '\n';
+        return 1;
+    }
+    return 0;
+}
