@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cache_sweep.dir/bench_cache_sweep.cc.o"
+  "CMakeFiles/bench_cache_sweep.dir/bench_cache_sweep.cc.o.d"
+  "bench_cache_sweep"
+  "bench_cache_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cache_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

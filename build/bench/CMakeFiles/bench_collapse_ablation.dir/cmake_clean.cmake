@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_collapse_ablation.dir/bench_collapse_ablation.cc.o"
+  "CMakeFiles/bench_collapse_ablation.dir/bench_collapse_ablation.cc.o.d"
+  "bench_collapse_ablation"
+  "bench_collapse_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_collapse_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

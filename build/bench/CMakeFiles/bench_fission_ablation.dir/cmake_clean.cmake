@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fission_ablation.dir/bench_fission_ablation.cc.o"
+  "CMakeFiles/bench_fission_ablation.dir/bench_fission_ablation.cc.o.d"
+  "bench_fission_ablation"
+  "bench_fission_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fission_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_generation_sweep.cc" "bench/CMakeFiles/bench_generation_sweep.dir/bench_generation_sweep.cc.o" "gcc" "bench/CMakeFiles/bench_generation_sweep.dir/bench_generation_sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/liquid_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/liquid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/translator/CMakeFiles/liquid_translator.dir/DependInfo.cmake"
+  "/root/repo/build/src/scalarizer/CMakeFiles/liquid_scalarizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/liquid_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/liquid_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/liquid_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/liquid_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_generation_sweep.dir/bench_generation_sweep.cc.o"
+  "CMakeFiles/bench_generation_sweep.dir/bench_generation_sweep.cc.o.d"
+  "bench_generation_sweep"
+  "bench_generation_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_generation_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_sweep.dir/bench_latency_sweep.cc.o"
+  "CMakeFiles/bench_latency_sweep.dir/bench_latency_sweep.cc.o.d"
+  "bench_latency_sweep"
+  "bench_latency_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

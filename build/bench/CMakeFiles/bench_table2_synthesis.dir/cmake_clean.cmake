@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_synthesis.dir/bench_table2_synthesis.cc.o"
+  "CMakeFiles/bench_table2_synthesis.dir/bench_table2_synthesis.cc.o.d"
+  "bench_table2_synthesis"
+  "bench_table2_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_walkthrough.dir/bench_table4_walkthrough.cc.o"
+  "CMakeFiles/bench_table4_walkthrough.dir/bench_table4_walkthrough.cc.o.d"
+  "bench_table4_walkthrough"
+  "bench_table4_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

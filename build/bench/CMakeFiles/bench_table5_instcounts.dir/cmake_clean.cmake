@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_instcounts.dir/bench_table5_instcounts.cc.o"
+  "CMakeFiles/bench_table5_instcounts.dir/bench_table5_instcounts.cc.o.d"
+  "bench_table5_instcounts"
+  "bench_table5_instcounts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_instcounts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_callgap.dir/bench_table6_callgap.cc.o"
+  "CMakeFiles/bench_table6_callgap.dir/bench_table6_callgap.cc.o.d"
+  "bench_table6_callgap"
+  "bench_table6_callgap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_callgap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ucache_sweep.dir/bench_ucache_sweep.cc.o"
+  "CMakeFiles/bench_ucache_sweep.dir/bench_ucache_sweep.cc.o.d"
+  "bench_ucache_sweep"
+  "bench_ucache_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ucache_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

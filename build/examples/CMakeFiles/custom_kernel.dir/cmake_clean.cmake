@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_kernel.dir/custom_kernel.cpp.o"
+  "CMakeFiles/custom_kernel.dir/custom_kernel.cpp.o.d"
+  "custom_kernel"
+  "custom_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

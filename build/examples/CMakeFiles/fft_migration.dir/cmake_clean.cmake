@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_migration.dir/fft_migration.cpp.o"
+  "CMakeFiles/fft_migration.dir/fft_migration.cpp.o.d"
+  "fft_migration"
+  "fft_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fft_migration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_translation.dir/inspect_translation.cpp.o"
+  "CMakeFiles/inspect_translation.dir/inspect_translation.cpp.o.d"
+  "inspect_translation"
+  "inspect_translation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asm/assembler.cc" "src/asm/CMakeFiles/liquid_asm.dir/assembler.cc.o" "gcc" "src/asm/CMakeFiles/liquid_asm.dir/assembler.cc.o.d"
+  "/root/repo/src/asm/program.cc" "src/asm/CMakeFiles/liquid_asm.dir/program.cc.o" "gcc" "src/asm/CMakeFiles/liquid_asm.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/liquid_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

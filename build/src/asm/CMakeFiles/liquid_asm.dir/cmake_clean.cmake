@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liquid_asm.dir/assembler.cc.o"
+  "CMakeFiles/liquid_asm.dir/assembler.cc.o.d"
+  "CMakeFiles/liquid_asm.dir/program.cc.o"
+  "CMakeFiles/liquid_asm.dir/program.cc.o.d"
+  "libliquid_asm.a"
+  "libliquid_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liquid_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for liquid_asm.
+# This may be replaced when dependencies are built.

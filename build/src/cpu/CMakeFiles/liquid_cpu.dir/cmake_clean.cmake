@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liquid_cpu.dir/core.cc.o"
+  "CMakeFiles/liquid_cpu.dir/core.cc.o.d"
+  "CMakeFiles/liquid_cpu.dir/exec.cc.o"
+  "CMakeFiles/liquid_cpu.dir/exec.cc.o.d"
+  "libliquid_cpu.a"
+  "libliquid_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liquid_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/encoding.cc" "src/isa/CMakeFiles/liquid_isa.dir/encoding.cc.o" "gcc" "src/isa/CMakeFiles/liquid_isa.dir/encoding.cc.o.d"
+  "/root/repo/src/isa/instruction.cc" "src/isa/CMakeFiles/liquid_isa.dir/instruction.cc.o" "gcc" "src/isa/CMakeFiles/liquid_isa.dir/instruction.cc.o.d"
+  "/root/repo/src/isa/opcodes.cc" "src/isa/CMakeFiles/liquid_isa.dir/opcodes.cc.o" "gcc" "src/isa/CMakeFiles/liquid_isa.dir/opcodes.cc.o.d"
+  "/root/repo/src/isa/perm.cc" "src/isa/CMakeFiles/liquid_isa.dir/perm.cc.o" "gcc" "src/isa/CMakeFiles/liquid_isa.dir/perm.cc.o.d"
+  "/root/repo/src/isa/registers.cc" "src/isa/CMakeFiles/liquid_isa.dir/registers.cc.o" "gcc" "src/isa/CMakeFiles/liquid_isa.dir/registers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

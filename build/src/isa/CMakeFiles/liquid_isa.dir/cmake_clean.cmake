@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liquid_isa.dir/encoding.cc.o"
+  "CMakeFiles/liquid_isa.dir/encoding.cc.o.d"
+  "CMakeFiles/liquid_isa.dir/instruction.cc.o"
+  "CMakeFiles/liquid_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/liquid_isa.dir/opcodes.cc.o"
+  "CMakeFiles/liquid_isa.dir/opcodes.cc.o.d"
+  "CMakeFiles/liquid_isa.dir/perm.cc.o"
+  "CMakeFiles/liquid_isa.dir/perm.cc.o.d"
+  "CMakeFiles/liquid_isa.dir/registers.cc.o"
+  "CMakeFiles/liquid_isa.dir/registers.cc.o.d"
+  "libliquid_isa.a"
+  "libliquid_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liquid_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

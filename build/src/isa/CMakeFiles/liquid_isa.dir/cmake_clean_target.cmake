@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libliquid_isa.a"
+)

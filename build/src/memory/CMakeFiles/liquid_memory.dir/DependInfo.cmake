@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memory/cache.cc" "src/memory/CMakeFiles/liquid_memory.dir/cache.cc.o" "gcc" "src/memory/CMakeFiles/liquid_memory.dir/cache.cc.o.d"
+  "/root/repo/src/memory/main_memory.cc" "src/memory/CMakeFiles/liquid_memory.dir/main_memory.cc.o" "gcc" "src/memory/CMakeFiles/liquid_memory.dir/main_memory.cc.o.d"
+  "/root/repo/src/memory/ucode_cache.cc" "src/memory/CMakeFiles/liquid_memory.dir/ucode_cache.cc.o" "gcc" "src/memory/CMakeFiles/liquid_memory.dir/ucode_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asm/CMakeFiles/liquid_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/liquid_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

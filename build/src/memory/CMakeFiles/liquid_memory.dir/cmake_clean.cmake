@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liquid_memory.dir/cache.cc.o"
+  "CMakeFiles/liquid_memory.dir/cache.cc.o.d"
+  "CMakeFiles/liquid_memory.dir/main_memory.cc.o"
+  "CMakeFiles/liquid_memory.dir/main_memory.cc.o.d"
+  "CMakeFiles/liquid_memory.dir/ucode_cache.cc.o"
+  "CMakeFiles/liquid_memory.dir/ucode_cache.cc.o.d"
+  "libliquid_memory.a"
+  "libliquid_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liquid_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liquid_scalarizer.dir/scalarizer.cc.o"
+  "CMakeFiles/liquid_scalarizer.dir/scalarizer.cc.o.d"
+  "CMakeFiles/liquid_scalarizer.dir/vir.cc.o"
+  "CMakeFiles/liquid_scalarizer.dir/vir.cc.o.d"
+  "libliquid_scalarizer.a"
+  "libliquid_scalarizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liquid_scalarizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

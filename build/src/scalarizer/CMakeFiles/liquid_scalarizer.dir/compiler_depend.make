@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for liquid_scalarizer.
+# This may be replaced when dependencies are built.

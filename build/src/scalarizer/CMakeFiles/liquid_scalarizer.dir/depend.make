@@ -1,0 +1,2 @@
+# Empty dependencies file for liquid_scalarizer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liquid_sim.dir/system.cc.o"
+  "CMakeFiles/liquid_sim.dir/system.cc.o.d"
+  "libliquid_sim.a"
+  "libliquid_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liquid_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liquid_translator.dir/cost_model.cc.o"
+  "CMakeFiles/liquid_translator.dir/cost_model.cc.o.d"
+  "CMakeFiles/liquid_translator.dir/offline.cc.o"
+  "CMakeFiles/liquid_translator.dir/offline.cc.o.d"
+  "CMakeFiles/liquid_translator.dir/translator.cc.o"
+  "CMakeFiles/liquid_translator.dir/translator.cc.o.d"
+  "libliquid_translator.a"
+  "libliquid_translator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liquid_translator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

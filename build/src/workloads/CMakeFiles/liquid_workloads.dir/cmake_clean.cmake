@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liquid_workloads.dir/suite.cc.o"
+  "CMakeFiles/liquid_workloads.dir/suite.cc.o.d"
+  "CMakeFiles/liquid_workloads.dir/vir_interp.cc.o"
+  "CMakeFiles/liquid_workloads.dir/vir_interp.cc.o.d"
+  "CMakeFiles/liquid_workloads.dir/workload.cc.o"
+  "CMakeFiles/liquid_workloads.dir/workload.cc.o.d"
+  "libliquid_workloads.a"
+  "libliquid_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liquid_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

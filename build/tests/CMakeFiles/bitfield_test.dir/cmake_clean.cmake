@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitfield_test.dir/bitfield_test.cc.o"
+  "CMakeFiles/bitfield_test.dir/bitfield_test.cc.o.d"
+  "bitfield_test"
+  "bitfield_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitfield_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

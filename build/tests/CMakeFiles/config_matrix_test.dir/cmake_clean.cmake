@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_matrix_test.dir/config_matrix_test.cc.o"
+  "CMakeFiles/config_matrix_test.dir/config_matrix_test.cc.o.d"
+  "config_matrix_test"
+  "config_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disasm_test.dir/disasm_test.cc.o"
+  "CMakeFiles/disasm_test.dir/disasm_test.cc.o.d"
+  "disasm_test"
+  "disasm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disasm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_walkthrough_test.dir/fft_walkthrough_test.cc.o"
+  "CMakeFiles/fft_walkthrough_test.dir/fft_walkthrough_test.cc.o.d"
+  "fft_walkthrough_test"
+  "fft_walkthrough_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_walkthrough_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

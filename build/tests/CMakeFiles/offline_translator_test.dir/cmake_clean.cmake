@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_translator_test.dir/offline_translator_test.cc.o"
+  "CMakeFiles/offline_translator_test.dir/offline_translator_test.cc.o.d"
+  "offline_translator_test"
+  "offline_translator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_translator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perm_test.dir/perm_test.cc.o"
+  "CMakeFiles/perm_test.dir/perm_test.cc.o.d"
+  "perm_test"
+  "perm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

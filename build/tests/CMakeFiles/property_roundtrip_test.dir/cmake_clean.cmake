@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_roundtrip_test.dir/property_roundtrip_test.cc.o"
+  "CMakeFiles/property_roundtrip_test.dir/property_roundtrip_test.cc.o.d"
+  "property_roundtrip_test"
+  "property_roundtrip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

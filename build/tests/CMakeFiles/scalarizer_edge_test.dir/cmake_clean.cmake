@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalarizer_edge_test.dir/scalarizer_edge_test.cc.o"
+  "CMakeFiles/scalarizer_edge_test.dir/scalarizer_edge_test.cc.o.d"
+  "scalarizer_edge_test"
+  "scalarizer_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalarizer_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalarizer_test.dir/scalarizer_test.cc.o"
+  "CMakeFiles/scalarizer_test.dir/scalarizer_test.cc.o.d"
+  "scalarizer_test"
+  "scalarizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalarizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

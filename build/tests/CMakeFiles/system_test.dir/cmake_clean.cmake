@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_test.dir/system_test.cc.o"
+  "CMakeFiles/system_test.dir/system_test.cc.o.d"
+  "system_test"
+  "system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

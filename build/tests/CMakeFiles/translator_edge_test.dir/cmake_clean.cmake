@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translator_edge_test.dir/translator_edge_test.cc.o"
+  "CMakeFiles/translator_edge_test.dir/translator_edge_test.cc.o.d"
+  "translator_edge_test"
+  "translator_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translator_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translator_rules_test.dir/translator_rules_test.cc.o"
+  "CMakeFiles/translator_rules_test.dir/translator_rules_test.cc.o.d"
+  "translator_rules_test"
+  "translator_rules_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translator_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucode_cache_test.dir/ucode_cache_test.cc.o"
+  "CMakeFiles/ucode_cache_test.dir/ucode_cache_test.cc.o.d"
+  "ucode_cache_test"
+  "ucode_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucode_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

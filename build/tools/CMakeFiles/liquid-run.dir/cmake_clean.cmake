@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liquid-run.dir/liquid_run.cc.o"
+  "CMakeFiles/liquid-run.dir/liquid_run.cc.o.d"
+  "liquid-run"
+  "liquid-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liquid-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
