@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Lint gate: clang-format (diff check) + clang-tidy over the C++ tree.
+#
+#   scripts/lint.sh             # check formatting and run clang-tidy
+#   scripts/lint.sh --fix       # reformat in place instead of checking
+#   scripts/lint.sh --format-only
+#
+# clang-tidy needs a compile database; the script configures
+# build-lint/ with CMAKE_EXPORT_COMPILE_COMMANDS if none exists.
+# Missing tools are reported and skipped (exit 0) so the script is
+# usable in minimal containers; CI installs both.
+
+set -u
+cd "$(dirname "$0")/.."
+
+fix=0
+format_only=0
+for arg in "$@"; do
+    case "$arg" in
+      --fix) fix=1 ;;
+      --format-only) format_only=1 ;;
+      *) echo "usage: $0 [--fix] [--format-only]" >&2; exit 2 ;;
+    esac
+done
+
+mapfile -t sources < <(git ls-files '*.cc' '*.hh')
+if [ "${#sources[@]}" -eq 0 ]; then
+    echo "lint: no C++ sources found" >&2
+    exit 2
+fi
+
+status=0
+
+if command -v clang-format > /dev/null; then
+    if [ "$fix" -eq 1 ]; then
+        clang-format -i "${sources[@]}"
+    else
+        if ! clang-format --dry-run -Werror "${sources[@]}"; then
+            echo "lint: formatting differs; run scripts/lint.sh --fix" >&2
+            status=1
+        fi
+    fi
+else
+    echo "lint: clang-format not found, skipping format check" >&2
+fi
+
+if [ "$format_only" -eq 1 ]; then
+    exit "$status"
+fi
+
+if command -v clang-tidy > /dev/null; then
+    db=build-lint
+    if [ ! -f "$db/compile_commands.json" ]; then
+        cmake -B "$db" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+            > /dev/null || exit 1
+    fi
+    # Headers are covered through the translation units that include
+    # them (HeaderFilterRegex in .clang-tidy).
+    mapfile -t tus < <(git ls-files 'src/*.cc' 'tools/*.cc')
+    if ! clang-tidy -p "$db" --quiet "${tus[@]}"; then
+        status=1
+    fi
+else
+    echo "lint: clang-tidy not found, skipping static analysis" >&2
+fi
+
+exit "$status"

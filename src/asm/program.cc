@@ -32,6 +32,61 @@ Program::hasLabel(const std::string &name) const
     return labels_.count(name) != 0;
 }
 
+std::string
+Program::labelAt(int index) const
+{
+    for (const auto &[name, idx] : labels_) {
+        if (idx == index)
+            return name;
+    }
+    return {};
+}
+
+std::vector<HintedCall>
+Program::hintedCalls() const
+{
+    std::map<int, unsigned> hints;
+    for (const auto &inst : code_) {
+        if (inst.op == Opcode::Bl && inst.hinted && inst.target >= 0)
+            hints[inst.target] = inst.blWidthHint;
+    }
+    std::vector<HintedCall> calls;
+    calls.reserve(hints.size());
+    for (const auto &[target, hint] : hints)
+        calls.push_back(HintedCall{target, hint});
+    return calls;
+}
+
+bool
+Program::readInitialElem(Addr addr, unsigned size, bool sign_extend,
+                         Word &out) const
+{
+    if (addr < dataBase)
+        return false;
+    const std::size_t offset = addr - dataBase;
+    if (offset + size > data_.size())
+        return false;
+    Word raw = 0;
+    for (unsigned i = 0; i < size; ++i)
+        raw |= static_cast<Word>(data_[offset + i]) << (8 * i);
+    out = sign_extend ? static_cast<Word>(sext(raw, 8 * size)) : raw;
+    return true;
+}
+
+std::string
+Program::symbolAt(Addr addr) const
+{
+    std::string best;
+    Addr best_addr = 0;
+    for (const auto &[name, sym_addr] : symbols_) {
+        if (sym_addr <= addr && (best.empty() || sym_addr >= best_addr)) {
+            best = name;
+            best_addr = sym_addr;
+        }
+    }
+    return best;
+}
+
 Addr
 Program::allocData(const std::string &name, std::size_t bytes,
                    std::size_t align)

@@ -19,6 +19,13 @@
 namespace liquid
 {
 
+/** A hinted bl site: the outlined region it targets. */
+struct HintedCall
+{
+    int target = -1;            ///< region entry instruction index
+    unsigned widthHint = 0;     ///< bl.simd<N> compiled width (0 = none)
+};
+
 /** Program text + data segments. */
 class Program
 {
@@ -45,6 +52,18 @@ class Program
     int labelIndex(const std::string &name) const;
 
     bool hasLabel(const std::string &name) const;
+
+    /** A label bound to exactly @p index; empty if none. */
+    std::string labelAt(int index) const;
+
+    /**
+     * Every distinct hinted bl target in the program — the outlined
+     * regions the dynamic translator will try to capture. When several
+     * hinted calls target one region, the last call's width hint wins
+     * (matching the translator, which rebinds on every call). Targets
+     * are returned in ascending order.
+     */
+    std::vector<HintedCall> hintedCalls() const;
 
     const std::vector<Inst> &code() const { return code_; }
     std::vector<Inst> &code() { return code_; }
@@ -97,6 +116,23 @@ class Program
     void initWord(Addr addr, Word value);
     void initHalf(Addr addr, std::uint16_t value);
     void initByte(Addr addr, std::uint8_t value);
+
+    /**
+     * Read one element of the *initial* data image (the state a static
+     * analysis may assume: read-only tables keep these values for the
+     * whole run). Little-endian, zero- or sign-extended like
+     * MainMemory::readElem. Returns false when [addr, addr + size) is
+     * not covered by the image.
+     */
+    bool readInitialElem(Addr addr, unsigned size, bool sign_extend,
+                         Word &out) const;
+
+    /**
+     * Name of the data symbol whose address is the greatest one at or
+     * below @p addr — the array a diagnostic should blame. Empty when
+     * @p addr precedes every symbol.
+     */
+    std::string symbolAt(Addr addr) const;
 
     const std::vector<std::uint8_t> &dataImage() const { return data_; }
     const std::map<std::string, Addr> &symbols() const { return symbols_; }

@@ -190,6 +190,29 @@ parseOpcodeName(const std::string &name)
     return it == byName.end() ? Opcode::NumOpcodes : it->second;
 }
 
+DecodeClass
+partialDecode(Opcode op)
+{
+    const OpInfo &info = opInfo(op);
+    if (info.isVector)
+        return DecodeClass::Vector;
+    switch (op) {
+      case Opcode::Bl: return DecodeClass::Call;
+      case Opcode::Ret: return DecodeClass::Return;
+      case Opcode::Mov: return DecodeClass::Mov;
+      case Opcode::Cmp: return DecodeClass::Cmp;
+      case Opcode::B: return DecodeClass::Branch;
+      default: break;
+    }
+    if (info.isLoad)
+        return DecodeClass::Load;
+    if (info.isStore)
+        return DecodeClass::Store;
+    if (info.isDataProc)
+        return DecodeClass::DataProc;
+    return DecodeClass::Untranslatable;  // nop, halt
+}
+
 bool
 parseCondName(const std::string &name, Cond &out)
 {

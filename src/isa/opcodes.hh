@@ -120,6 +120,28 @@ struct OpInfo
 /** Metadata lookup; valid for every opcode below NumOpcodes. */
 const OpInfo &opInfo(Opcode op);
 
+/**
+ * How the dynamic translator's partial decoder (paper Section 4.1)
+ * dispatches an opcode. Shared by the hardware rule automaton and the
+ * static verifier so both classify the repertoire identically.
+ */
+enum class DecodeClass : std::uint8_t
+{
+    Vector,          ///< vector-ISA opcode: illegal in a scalar region
+    Call,            ///< bl: nested call inside a region
+    Return,          ///< ret: region exit, handled off the decode path
+    Untranslatable,  ///< recognized but outside the conversion rules
+    Mov,
+    Cmp,
+    Branch,
+    Load,
+    Store,
+    DataProc,
+};
+
+/** Classify @p op the way the partial decoder does. */
+DecodeClass partialDecode(Opcode op);
+
 /** Assembler mnemonic for @p op. */
 inline const char *opName(Opcode op) { return opInfo(op).name; }
 

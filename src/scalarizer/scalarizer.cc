@@ -360,8 +360,42 @@ class ScalarEmitter
         plan_ = planFission(kernel_);
 
         const int first = static_cast<int>(prog_.code().size());
-        if (opts_.mode == EmitOptions::Mode::Scalarized)
+        const bool outlined =
+            opts_.mode == EmitOptions::Mode::Scalarized;
+        using Sabotage = EmitOptions::Sabotage;
+
+        if (outlined && opts_.sabotage == Sabotage::NestedCall) {
+            // Stub callee ahead of the entry; reachable only via the
+            // injected bl below.
+            prog_.defineLabel(fnName_ + "_sab_helper");
+            prog_.addInst(Inst::ret());
+        }
+
+        if (outlined)
             prog_.defineLabel(fnName_);
+
+        if (outlined) {
+            switch (opts_.sabotage) {
+              case Sabotage::UntranslatableOp:
+                prog_.addInst(Inst::nop());
+                break;
+              case Sabotage::NestedCall:
+                prog_.addInst(Inst::call(-1, false,
+                                         fnName_ + "_sab_helper"));
+                break;
+              case Sabotage::ForwardBranch:
+                prog_.addInst(Inst::branch(Cond::AL, -1,
+                                           fnName_ + "_sab_skip"));
+                prog_.defineLabel(fnName_ + "_sab_skip");
+                break;
+              case Sabotage::ScalarStore:
+                prog_.allocData(fnName_ + "_sab",
+                                kernel_.tripCount() * 4, 64);
+                break;
+              default:
+                break;
+            }
+        }
 
         // Reduction accumulators live in registers across all stages.
         for (const auto &acc : kernel_.accs()) {
@@ -562,9 +596,31 @@ class ScalarEmitter
 
         // Loop prologue.
         prog_.addInst(Inst::movImm(iv_, 0));
+        using Sabotage = EmitOptions::Sabotage;
+        const bool sabotage_here =
+            s == 0 && opts_.mode == EmitOptions::Mode::Scalarized;
+        if (sabotage_here &&
+            opts_.sabotage == Sabotage::IvArithmetic) {
+            // IV-derived value: Rule 11 refuses it (it would diverge
+            // once the loop strides by W). Dead afterwards, so the
+            // scalar execution is unaffected.
+            RegId rt = intPool_.alloc();
+            prog_.addInst(Inst::dp(Opcode::Add, rt, iv_, iv_));
+            intPool_.release(rt);
+        }
         const std::string top =
             fnName_ + "_s" + std::to_string(s) + "_top";
         prog_.defineLabel(top);
+        if (sabotage_here &&
+            opts_.sabotage == Sabotage::ScalarStore) {
+            // Store whose data register is not a virtualized vector:
+            // the translator's store rule refuses it.
+            RegId rt = intPool_.alloc();
+            prog_.addInst(Inst::movImm(rt, 7));
+            prog_.addInst(Inst::store(Opcode::Stw, rt,
+                                      prog_.ref(fnName_ + "_sab", iv_)));
+            intPool_.release(rt);
+        }
 
         regOf_.clear();
         for (std::size_t p = 0; p < items.size(); ++p) {

@@ -46,6 +46,24 @@ struct EmitOptions
     unsigned nativeWidth = 8;
     bool hinted = true;       ///< mark the region with bl.simd
     std::string fnName;       ///< defaults to the kernel name
+
+    /**
+     * Deliberate Table-1 conformance violations (Scalarized mode
+     * only), for exercising the translator's legality checks and the
+     * static verifier. Each injection is semantically harmless to the
+     * scalar execution but makes translation abort with a specific
+     * reason.
+     */
+    enum class Sabotage
+    {
+        None,
+        UntranslatableOp,  ///< nop at region entry -> untranslatableOpcode
+        NestedCall,        ///< bl to a stub at entry -> nestedCall
+        ForwardBranch,     ///< taken forward b at entry -> forwardBranch
+        IvArithmetic,      ///< IV-derived arithmetic -> ivArithmetic
+        ScalarStore,       ///< non-vector store data -> storeScalarData
+    };
+    Sabotage sabotage = Sabotage::None;
 };
 
 /** Code-generation outputs. */

@@ -1,0 +1,151 @@
+#include "translator/abort_reason.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+
+namespace liquid
+{
+
+namespace
+{
+
+struct ReasonInfo
+{
+    AbortReason reason;
+    const char *name;
+    ReasonClass cls;
+};
+
+constexpr std::array<ReasonInfo,
+                     static_cast<std::size_t>(AbortReason::NumReasons)>
+    reasonTable{{
+        {AbortReason::None, "none", ReasonClass::None},
+
+        {AbortReason::NestedCall, "nestedCall", ReasonClass::Structure},
+        {AbortReason::ForwardBranch, "forwardBranch",
+         ReasonClass::Structure},
+        {AbortReason::RetInsideLoop, "retInsideLoop",
+         ReasonClass::Structure},
+        {AbortReason::BackedgeTargetUnseen, "backedgeTargetUnseen",
+         ReasonClass::Structure},
+        {AbortReason::ShapeMismatch, "shapeMismatch",
+         ReasonClass::Structure},
+        {AbortReason::VectorOutsideLoop, "vectorOutsideLoop",
+         ReasonClass::Structure},
+        {AbortReason::DanglingBranch, "danglingBranch",
+         ReasonClass::Structure},
+        {AbortReason::UnindexedInst, "unindexedInst",
+         ReasonClass::Structure},
+        {AbortReason::IdiomIncomplete, "idiomIncomplete",
+         ReasonClass::Structure},
+        {AbortReason::UnfinalizedPatches, "unfinalizedPatches",
+         ReasonClass::Structure},
+
+        {AbortReason::VectorOpcode, "vectorOpcode", ReasonClass::Opcode},
+        {AbortReason::UntranslatableOpcode, "untranslatableOpcode",
+         ReasonClass::Opcode},
+        {AbortReason::ConditionalMov, "conditionalMov",
+         ReasonClass::Opcode},
+        {AbortReason::MovFromNonScalar, "movFromNonScalar",
+         ReasonClass::Opcode},
+        {AbortReason::LoadWithoutIndex, "loadWithoutIndex",
+         ReasonClass::Opcode},
+        {AbortReason::LoadBadIndex, "loadBadIndex", ReasonClass::Opcode},
+        {AbortReason::StoreWithoutIndex, "storeWithoutIndex",
+         ReasonClass::Opcode},
+        {AbortReason::StoreScalarData, "storeScalarData",
+         ReasonClass::Opcode},
+        {AbortReason::StoreBadIndex, "storeBadIndex",
+         ReasonClass::Opcode},
+        {AbortReason::VectorCompare, "vectorCompare",
+         ReasonClass::Opcode},
+        {AbortReason::UnsupportedReduction, "unsupportedReduction",
+         ReasonClass::Opcode},
+        {AbortReason::NoVectorEquivalent, "noVectorEquivalent",
+         ReasonClass::Opcode},
+        {AbortReason::VectorScalarMix, "vectorScalarMix",
+         ReasonClass::Opcode},
+        {AbortReason::OffsetsInArithmetic, "offsetsInArithmetic",
+         ReasonClass::Opcode},
+        {AbortReason::IvArithmetic, "ivArithmetic", ReasonClass::Opcode},
+
+        {AbortReason::IdiomNoProducer, "idiomNoProducer",
+         ReasonClass::Idiom},
+        {AbortReason::IdiomShape, "idiomShape", ReasonClass::Idiom},
+        {AbortReason::IdiomBadProducer, "idiomBadProducer",
+         ReasonClass::Idiom},
+
+        {AbortReason::ValueTooWide, "valueTooWide",
+         ReasonClass::Dataflow},
+        {AbortReason::AddressMismatch, "addressMismatch",
+         ReasonClass::Dataflow},
+        {AbortReason::IvMismatch, "ivMismatch", ReasonClass::Dataflow},
+        {AbortReason::MemoryDependence, "memoryDependence",
+         ReasonClass::Dataflow},
+
+        {AbortReason::TripCount, "tripCount", ReasonClass::Width},
+        {AbortReason::UnsupportedShuffle, "unsupportedShuffle",
+         ReasonClass::Width},
+        {AbortReason::ValueMismatch, "valueMismatch",
+         ReasonClass::Width},
+        {AbortReason::LanesIncomplete, "lanesIncomplete",
+         ReasonClass::Width},
+
+        {AbortReason::UcodeOverflow, "ucodeOverflow",
+         ReasonClass::Capacity},
+
+        {AbortReason::Interrupt, "interrupt", ReasonClass::Runtime},
+    }};
+
+const ReasonInfo &
+info(AbortReason reason)
+{
+    const auto idx = static_cast<std::size_t>(reason);
+    LIQUID_ASSERT(idx < reasonTable.size(), "bad abort reason");
+    const ReasonInfo &entry = reasonTable[idx];
+    LIQUID_ASSERT(entry.reason == reason, "abort-reason table disorder");
+    return entry;
+}
+
+} // namespace
+
+const char *
+abortReasonName(AbortReason reason)
+{
+    return info(reason).name;
+}
+
+AbortReason
+parseAbortReason(const std::string &name)
+{
+    for (const ReasonInfo &entry : reasonTable) {
+        if (name == entry.name)
+            return entry.reason;
+    }
+    return AbortReason::NumReasons;
+}
+
+ReasonClass
+abortReasonClass(AbortReason reason)
+{
+    return info(reason).cls;
+}
+
+const char *
+reasonClassName(ReasonClass cls)
+{
+    switch (cls) {
+      case ReasonClass::None: return "none";
+      case ReasonClass::Structure: return "structure";
+      case ReasonClass::Opcode: return "opcode";
+      case ReasonClass::Idiom: return "idiom";
+      case ReasonClass::Dataflow: return "dataflow";
+      case ReasonClass::Width: return "width";
+      case ReasonClass::Capacity: return "capacity";
+      case ReasonClass::Runtime: return "runtime";
+    }
+    panic("bad reason class");
+}
+
+} // namespace liquid

@@ -1,7 +1,5 @@
 #include "translator/offline.hh"
 
-#include <set>
-
 #include "cpu/core.hh"
 #include "translator/translator.hh"
 
@@ -47,13 +45,10 @@ translateOffline(const Program &prog, int entry_index, unsigned width,
     const UcodeEntry *uc = cache.lookup(entry, core.cycles() + 1);
     if (!uc) {
         result.ok = false;
-        for (const auto &[stat, value] :
-             translator.stats().counters()) {
-            if (value && stat.rfind("abort.", 0) == 0)
-                result.abortReason = stat.substr(6);
-        }
-        if (result.abortReason.empty())
-            result.abortReason = "unknown";
+        result.reason = translator.lastAbort();
+        result.abortReason = result.reason == AbortReason::None
+                                 ? "unknown"
+                                 : abortReasonName(result.reason);
         return result;
     }
 
@@ -67,25 +62,16 @@ unsigned
 pretranslateProgram(const Program &prog, unsigned width,
                     UcodeCache &cache)
 {
-    std::set<int> entries;
-    std::map<int, unsigned> hints;
-    for (const auto &inst : prog.code()) {
-        if (inst.op == Opcode::Bl && inst.hinted && inst.target >= 0) {
-            entries.insert(inst.target);
-            hints[inst.target] = inst.blWidthHint;
-        }
-    }
-
     unsigned installed = 0;
-    for (const int entry : entries) {
+    for (const HintedCall &call : prog.hintedCalls()) {
         // Width fallback, as in the dynamic translator: bind as wide
         // as the region allows.
         unsigned bind = width;
-        if (hints[entry] != 0)
-            bind = std::min(bind, static_cast<unsigned>(hints[entry]));
+        if (call.widthHint != 0)
+            bind = std::min(bind, call.widthHint);
         for (; bind >= 2; bind /= 2) {
-            OfflineResult r =
-                translateOffline(prog, entry, bind, hints[entry]);
+            OfflineResult r = translateOffline(prog, call.target, bind,
+                                               call.widthHint);
             if (r.ok) {
                 cache.insert(std::move(r.entry));
                 ++installed;

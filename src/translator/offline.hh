@@ -27,6 +27,7 @@
 
 #include "asm/program.hh"
 #include "memory/ucode_cache.hh"
+#include "translator/abort_reason.hh"
 
 namespace liquid
 {
@@ -35,7 +36,8 @@ namespace liquid
 struct OfflineResult
 {
     bool ok = false;
-    std::string abortReason;  ///< set when !ok
+    AbortReason reason = AbortReason::None;  ///< set when !ok
+    std::string abortReason;  ///< canonical reason name, set when !ok
     UcodeEntry entry;         ///< valid when ok (readyAt == 0)
 };
 

@@ -14,28 +14,13 @@ namespace
 /** Internal control-flow escape used to unwind on translation abort. */
 struct AbortCapture
 {
-    std::string reason;
+    AbortReason reason;
 };
 
 [[noreturn]] void
-raiseAbort(std::string reason)
+raiseAbort(AbortReason reason)
 {
-    throw AbortCapture{std::move(reason)};
-}
-
-/**
- * Can this loaded value live in the translator's per-lane value state?
- * The paper stores only small values ("numbers that are too big to
- * represent simply abort"): permutation offsets, small constants, and
- * all-ones/all-zero lane masks.
- */
-bool
-representable(Word value)
-{
-    if (value == 0xFFFFFFFFu)
-        return true;  // lane-mask "keep" pattern
-    const SWord s = static_cast<SWord>(value);
-    return s >= -128 && s <= 127;
+    throw AbortCapture{reason};
 }
 
 } // namespace
@@ -74,7 +59,7 @@ int
 Translator::emit(Inst inst, int static_idx)
 {
     if (ucode_.size() >= config_.maxUcodeInsts)
-        raiseAbort("ucodeOverflow");
+        raiseAbort(AbortReason::UcodeOverflow);
     UcodeSlot slot;
     slot.inst = std::move(inst);
     (void)static_idx;
@@ -102,23 +87,17 @@ Translator::resetCapture()
     loopUcodeStart_ = -1;
 }
 
-bool
-Translator::widthDependentAbort(const std::string &reason) const
-{
-    // These failures can succeed at a narrower binding: the trip count
-    // may divide a smaller width, and a shuffle or lane pattern that is
-    // not W-periodic may be W/2-periodic.
-    return reason == "tripCount" || reason == "unsupportedShuffle" ||
-           reason == "valueMismatch" || reason == "lanesIncomplete";
-}
-
 void
-Translator::abort(const std::string &reason)
+Translator::abort(AbortReason reason)
 {
+    lastAbort_ = reason;
     stats_.inc("aborts");
-    stats_.inc("abort." + reason);
-    if (regionEntry_ != invalidAddr && reason != "interrupt") {
-        if (config_.widthFallback && widthDependentAbort(reason) &&
+    stats_.inc(std::string("abort.") + abortReasonName(reason));
+    if (regionEntry_ != invalidAddr && reason != AbortReason::Interrupt) {
+        // Width-dependent failures can succeed at a narrower binding:
+        // the trip count may divide a smaller width, and a shuffle or
+        // lane pattern that is not W-periodic may be W/2-periodic.
+        if (config_.widthFallback && abortIsWidthDependent(reason) &&
             captureWidth_ > 2) {
             retryWidth_[regionEntry_] = captureWidth_ / 2;
             stats_.inc("widthFallbacks");
@@ -137,7 +116,7 @@ Translator::onCall(Addr callee_entry, bool hinted, unsigned width_hint,
     if (mode_ != Mode::Idle) {
         // A call retired inside a region being captured: the region
         // does not fit the outlined-loop format.
-        abort("nestedCall");
+        abort(AbortReason::NestedCall);
         return;
     }
     if (config_.simdWidth == 0)
@@ -177,7 +156,7 @@ Translator::onInterrupt(Cycles now)
         return;
     // External abort from the pipeline (paper Figure 5's Abort input):
     // transient, so the region is not blacklisted and may be retried.
-    abort("interrupt");
+    abort(AbortReason::Interrupt);
 }
 
 void
@@ -187,7 +166,7 @@ Translator::onReturn(Cycles now)
         return;
     try {
         if (mode_ == Mode::Verify)
-            raiseAbort("retInsideLoop");
+            raiseAbort(AbortReason::RetInsideLoop);
         commit(now);
     } catch (const AbortCapture &a) {
         abort(a.reason);
@@ -205,7 +184,7 @@ Translator::onRetire(const RetireInfo &info, Cycles now)
 
     try {
         if (info.index < 0)
-            raiseAbort("unindexedInst");
+            raiseAbort(AbortReason::UnindexedInst);
         if (mode_ == Mode::Verify)
             verify(info);
         else
@@ -230,45 +209,45 @@ Translator::build(const RetireInfo &info)
     }
 
     // The partial decoder recognizes only translatable opcodes.
-    if (inst.info().isVector)
-        raiseAbort("vectorOpcode");
-    if (inst.op == Opcode::Bl)
-        raiseAbort("nestedCall");
-    if (inst.op == Opcode::Halt || inst.op == Opcode::Nop)
-        raiseAbort("untranslatableOpcode");
+    const DecodeClass dc = partialDecode(inst.op);
+    switch (dc) {
+      case DecodeClass::Vector:
+        raiseAbort(AbortReason::VectorOpcode);
+      case DecodeClass::Call:
+        raiseAbort(AbortReason::NestedCall);
+      case DecodeClass::Untranslatable:
+        raiseAbort(AbortReason::UntranslatableOpcode);
+      default:
+        break;
+    }
 
     // The saturation idiom recognizer intercepts its instructions before
     // the main rule table.
     if (handleIdiom(info))
         return;
 
-    switch (inst.op) {
-      case Opcode::Mov:
+    switch (dc) {
+      case DecodeClass::Mov:
         buildMov(info);
         return;
-      case Opcode::Cmp:
+      case DecodeClass::Cmp:
         buildCmp(info);
         return;
-      case Opcode::B:
+      case DecodeClass::Branch:
         buildBranch(info);
         return;
-      default:
-        break;
-    }
-
-    if (inst.isLoad()) {
+      case DecodeClass::Load:
         buildLoad(info);
         return;
-    }
-    if (inst.isStore()) {
+      case DecodeClass::Store:
         buildStore(info);
         return;
-    }
-    if (inst.isDataProc()) {
+      case DecodeClass::DataProc:
         buildDataProc(info);
         return;
+      default:
+        raiseAbort(AbortReason::UntranslatableOpcode);
     }
-    raiseAbort("untranslatableOpcode");
 }
 
 bool
@@ -289,39 +268,39 @@ Translator::handleIdiom(const RetireInfo &info)
         // cmp on a virtualized vector register: only legal as the head
         // of the saturation idiom.
         if (inst.imm != satMax)
-            raiseAbort("vectorCompare");
+            raiseAbort(AbortReason::VectorCompare);
         idiom_.stage = 1;
         idiom_.reg = inst.src1;
         idiom_.defSlot = state(inst.src1).producerUcode;
         if (idiom_.defSlot < 0)
-            raiseAbort("idiomNoProducer");
+            raiseAbort(AbortReason::IdiomNoProducer);
         return true;
       }
       case 1: {
         if (inst.op != Opcode::Mov || inst.cond != Cond::GT ||
             !inst.hasImm || inst.imm != satMax || inst.dst != idiom_.reg)
-            raiseAbort("idiomShape");
+            raiseAbort(AbortReason::IdiomShape);
         idiom_.stage = 2;
         return true;
       }
       case 2: {
         if (inst.op != Opcode::Cmp || !inst.hasImm ||
             inst.imm != satMin || inst.src1 != idiom_.reg)
-            raiseAbort("idiomShape");
+            raiseAbort(AbortReason::IdiomShape);
         idiom_.stage = 3;
         return true;
       }
       case 3: {
         if (inst.op != Opcode::Mov || inst.cond != Cond::LT ||
             !inst.hasImm || inst.imm != satMin || inst.dst != idiom_.reg)
-            raiseAbort("idiomShape");
+            raiseAbort(AbortReason::IdiomShape);
         Inst &def = ucode_[idiom_.defSlot].inst;
         if (def.op == Opcode::Vadd)
             def.op = Opcode::Vqadd;
         else if (def.op == Opcode::Vsub)
             def.op = Opcode::Vqsub;
         else
-            raiseAbort("idiomBadProducer");
+            raiseAbort(AbortReason::IdiomBadProducer);
         stats_.inc("idiomsRecognized");
         idiom_ = IdiomState{};
         return true;
@@ -336,7 +315,7 @@ Translator::buildMov(const RetireInfo &info)
 {
     const Inst &inst = *info.inst;
     if (inst.cond != Cond::AL)
-        raiseAbort("conditionalMov");  // only legal inside idioms
+        raiseAbort(AbortReason::ConditionalMov);  // only legal inside idioms
 
     if (inst.hasImm) {
         // Rule 1: mov r, #const marks an induction-variable candidate.
@@ -352,7 +331,7 @@ Translator::buildMov(const RetireInfo &info)
     if (src.kind == RegState::Kind::Vector ||
         src.kind == RegState::Kind::VecValues ||
         src.kind == RegState::Kind::IndVar)
-        raiseAbort("movFromNonScalar");
+        raiseAbort(AbortReason::MovFromNonScalar);
     RegState &d = state(inst.dst);
     d = RegState{};
     d.kind = RegState::Kind::Scalar;
@@ -364,7 +343,7 @@ Translator::buildLoad(const RetireInfo &info)
 {
     const Inst &inst = *info.inst;
     if (!inst.mem.index.isValid())
-        raiseAbort("loadWithoutIndex");
+        raiseAbort(AbortReason::LoadWithoutIndex);
 
     const RegState &idxState = state(inst.mem.index);
     const OpInfo &op = inst.info();
@@ -395,7 +374,7 @@ Translator::buildLoad(const RetireInfo &info)
         // constant array stays an ordinary vector load, which is still
         // exact (removing it "is not strictly necessary for
         // correctness", paper Section 4.1).
-        if (prog_.isReadOnly(info.memAddr) && representable(info.value)) {
+        if (prog_.isReadOnly(info.memAddr) && laneRepresentable(info.value)) {
             d.stream = newStream(slot);
             streams_[d.stream].values.push_back(info.value);
             n.stream = d.stream;
@@ -433,7 +412,7 @@ Translator::buildLoad(const RetireInfo &info)
         return;
     }
 
-    raiseAbort("loadBadIndex");
+    raiseAbort(AbortReason::LoadBadIndex);
 }
 
 void
@@ -441,11 +420,11 @@ Translator::buildStore(const RetireInfo &info)
 {
     const Inst &inst = *info.inst;
     if (!inst.mem.index.isValid())
-        raiseAbort("storeWithoutIndex");
+        raiseAbort(AbortReason::StoreWithoutIndex);
 
     RegState &dataState = state(inst.src1);
     if (dataState.kind != RegState::Kind::Vector)
-        raiseAbort("storeScalarData");
+        raiseAbort(AbortReason::StoreScalarData);
     if (dataState.producerUcode >= 0)
         ucode_[dataState.producerUcode].keep = true;
 
@@ -494,7 +473,7 @@ Translator::buildStore(const RetireInfo &info)
         return;
     }
 
-    raiseAbort("storeBadIndex");
+    raiseAbort(AbortReason::StoreBadIndex);
 }
 
 void
@@ -504,12 +483,12 @@ Translator::buildCmp(const RetireInfo &info)
     const RegState &s1 = state(inst.src1);
     if (s1.kind == RegState::Kind::Vector ||
         s1.kind == RegState::Kind::VecValues)
-        raiseAbort("vectorCompare");  // idiom heads handled earlier
+        raiseAbort(AbortReason::VectorCompare);  // idiom heads handled earlier
     if (!inst.hasImm) {
         const RegState &s2 = state(inst.src2);
         if (s2.kind == RegState::Kind::Vector ||
             s2.kind == RegState::Kind::VecValues)
-            raiseAbort("vectorCompare");
+            raiseAbort(AbortReason::VectorCompare);
     }
     emit(inst, info.index);
 }
@@ -521,7 +500,7 @@ Translator::buildBranch(const RetireInfo &info)
     LIQUID_ASSERT(inst.target >= 0);
 
     if (info.branchTaken && inst.target > info.index)
-        raiseAbort("forwardBranch");
+        raiseAbort(AbortReason::ForwardBranch);
 
     // Emit the branch; its target is remapped from a static instruction
     // index to a microcode index when the region commits.
@@ -534,7 +513,7 @@ Translator::buildBranch(const RetireInfo &info)
         // switch to verifying iterations 2..N against it.
         auto it = ucodeStartOfStatic_.find(inst.target);
         if (it == ucodeStartOfStatic_.end())
-            raiseAbort("backedgeTargetUnseen");
+            raiseAbort(AbortReason::BackedgeTargetUnseen);
         mode_ = Mode::Verify;
         loopStart_ = inst.target;
         loopEnd_ = info.index;
@@ -564,7 +543,7 @@ Translator::buildDataProc(const RetireInfo &info)
         (isScalarish(s1) || s1.kind == Kind::IndVar) && isVec(s2)) {
         const Opcode red = inst.info().reductionEquiv;
         if (red == Opcode::Nop)
-            raiseAbort("unsupportedReduction");
+            raiseAbort(AbortReason::UnsupportedReduction);
         if (s2->producerUcode >= 0)
             ucode_[s2->producerUcode].keep = true;
         Inst vr = Inst::vred(red, inst.dst, inst.src2.toVector());
@@ -623,7 +602,7 @@ Translator::buildDataProc(const RetireInfo &info)
     if (isVec(&s1) || isVec(s2)) {
         const Opcode vop = inst.info().vectorEquiv;
         if (vop == Opcode::Nop)
-            raiseAbort("noVectorEquivalent");
+            raiseAbort(AbortReason::NoVectorEquivalent);
 
         if (isVec(&s1) && inst.hasImm) {
             // Category 2: vector op with an immediate constant.
@@ -696,17 +675,17 @@ Translator::buildDataProc(const RetireInfo &info)
 
         // Vector mixed with a live scalar register: not in the rule
         // table (the scalar form would need a broadcast).
-        raiseAbort("vectorScalarMix");
+        raiseAbort(AbortReason::VectorScalarMix);
     }
 
     if (s1.kind == Kind::VecValues || (s2 && s2->kind == Kind::VecValues))
-        raiseAbort("offsetsInArithmetic");
+        raiseAbort(AbortReason::OffsetsInArithmetic);
 
     // Rule 11: all source operands scalar — pass through unmodified.
     // Values derived from the induction variable would diverge once the
     // loop strides by W, so they abort instead.
     if (s1.kind == Kind::IndVar || (s2 && s2->kind == Kind::IndVar))
-        raiseAbort("ivArithmetic");
+        raiseAbort(AbortReason::IvArithmetic);
     emit(inst, info.index);
     RegState &d = state(inst.dst);
     d = RegState{};
@@ -721,7 +700,7 @@ void
 Translator::verify(const RetireInfo &info)
 {
     if (info.index != expectIdx_)
-        raiseAbort("shapeMismatch");
+        raiseAbort(AbortReason::ShapeMismatch);
 
     const unsigned width = captureWidth_;
     const unsigned iter = itersDone_ + 1;   // current iteration, 1-based
@@ -733,23 +712,23 @@ Translator::verify(const RetireInfo &info)
         if (n.stream >= 0 && streams_[n.stream].referenced) {
             auto &values = streams_[n.stream].values;
             if (values.size() < width) {
-                if (!representable(info.value))
-                    raiseAbort("valueTooWide");
+                if (!laneRepresentable(info.value))
+                    raiseAbort(AbortReason::ValueTooWide);
                 values.push_back(info.value);
             } else if (info.value != values[elem % width]) {
-                raiseAbort("valueMismatch");
+                raiseAbort(AbortReason::ValueMismatch);
             }
         }
         if (n.checkAddr &&
             info.memAddr !=
                 n.firstEa + static_cast<Addr>(elem * n.esize)) {
-            raiseAbort("addressMismatch");
+            raiseAbort(AbortReason::AddressMismatch);
         }
         if (n.checkIv &&
             info.value !=
                 n.ivFirst + static_cast<Word>(elem) *
                                 static_cast<Word>(n.ivStep)) {
-            raiseAbort("ivMismatch");
+            raiseAbort(AbortReason::IvMismatch);
         }
     }
 
@@ -774,7 +753,7 @@ Translator::finalizeLoop()
     // The microcode strides W elements per iteration, so the trip count
     // must be a whole number of vectors.
     if (itersDone_ < width || itersDone_ % width != 0)
-        raiseAbort("tripCount");
+        raiseAbort(AbortReason::TripCount);
 
     // Cross-iteration memory dependences: the paper notes translated
     // code is only "functionally correct as long as there were no
@@ -801,14 +780,14 @@ Translator::finalizeLoop()
             const Addr s_end =
                 s0 + itersDone_ * store_note.esize;
             if (s0 > l0 && s0 < l_end && s_end > l0)
-                raiseAbort("memoryDependence");
+                raiseAbort(AbortReason::MemoryDependence);
         }
     }
 
     for (const Patch &p : patches_) {
         const auto &values = streams_[p.stream].values;
         if (values.size() < width)
-            raiseAbort("lanesIncomplete");
+            raiseAbort(AbortReason::LanesIncomplete);
 
         if (p.kind == Patch::Kind::CvecOrMask) {
             // Reduce to the smallest period that explains the lanes.
@@ -863,7 +842,7 @@ Translator::finalizeLoop()
         const auto match =
             permCamLookup(offsets, width, config_.permRepertoire);
         if (!match)
-            raiseAbort("unsupportedShuffle");
+            raiseAbort(AbortReason::UnsupportedShuffle);
 
         Inst &inst = ucode_[p.ucodeIdx].inst;
         inst.permKind = p.kind == Patch::Kind::PermStore
@@ -888,9 +867,9 @@ void
 Translator::commit(Cycles now)
 {
     if (idiom_.stage != 0)
-        raiseAbort("idiomIncomplete");
+        raiseAbort(AbortReason::IdiomIncomplete);
     if (!patches_.empty())
-        raiseAbort("unfinalizedPatches");
+        raiseAbort(AbortReason::UnfinalizedPatches);
 
     // The alignment network collapses tentative offset-array loads whose
     // only consumers were permutations or constants.
@@ -906,7 +885,7 @@ Translator::commit(Cycles now)
             continue;
         }
         if (slot.needsLoop && !slot.loopVerified)
-            raiseAbort("vectorOutsideLoop");
+            raiseAbort(AbortReason::VectorOutsideLoop);
         new_index[i] = static_cast<int>(out.size());
         out.push_back(slot.inst);
     }
@@ -920,7 +899,7 @@ Translator::commit(Cycles now)
         Inst &b = out[static_cast<std::size_t>(new_index[i])];
         auto it = ucodeStartOfStatic_.find(b.target);
         if (it == ucodeStartOfStatic_.end())
-            raiseAbort("danglingBranch");
+            raiseAbort(AbortReason::DanglingBranch);
         int target = -1;
         for (std::size_t j = static_cast<std::size_t>(it->second);
              j < ucode_.size(); ++j) {
@@ -930,7 +909,7 @@ Translator::commit(Cycles now)
             }
         }
         if (target < 0)
-            raiseAbort("danglingBranch");
+            raiseAbort(AbortReason::DanglingBranch);
         b.target = target;
         b.targetSym.clear();
     }

@@ -30,6 +30,7 @@
 #include "common/stats.hh"
 #include "cpu/core.hh"
 #include "memory/ucode_cache.hh"
+#include "translator/abort_reason.hh"
 
 namespace liquid
 {
@@ -109,6 +110,9 @@ class Translator : public RetireSink
     const StatGroup &stats() const { return stats_; }
 
     const TranslatorConfig &config() const { return config_; }
+
+    /** Reason of the most recent abort (None if none has occurred). */
+    AbortReason lastAbort() const { return lastAbort_; }
 
   private:
     enum class Mode
@@ -207,9 +211,8 @@ class Translator : public RetireSink
     void finalizeLoop();
 
     void commit(Cycles now);
-    void abort(const std::string &reason);
+    void abort(AbortReason reason);
     void resetCapture();
-    bool widthDependentAbort(const std::string &reason) const;
 
     RegState &state(RegId reg);
     int newStream(int producer_ucode);
@@ -229,6 +232,8 @@ class Translator : public RetireSink
     unsigned captureWidth_ = 0;
     /** Regions that must retry at a reduced width. */
     std::map<Addr, unsigned> retryWidth_;
+    /** Most recent abort reason (survives resetCapture). */
+    AbortReason lastAbort_ = AbortReason::None;
 
     std::vector<RegState> regs_;
     std::vector<ValueStream> streams_;

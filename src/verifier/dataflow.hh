@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The verifier's dataflow engine: a constant-propagating abstract
+ * interpretation of the scalar ISA over a two-point lattice
+ * (Known(value) above Top).
+ *
+ * Why this is enough to be *precise* for Table-1 regions: everything
+ * the translator's legality decisions consume is statically
+ * determined —
+ *  - induction variables start at `mov r, #c` and step by immediates,
+ *    so their per-iteration values and every element-scaled effective
+ *    address are compile-time constants;
+ *  - value streams only form from loads of *read-only* data, whose
+ *    contents are the program's initial image by definition (the
+ *    constant-pool inspection);
+ *  - loads from writable memory never influence legality except
+ *    through condition flags, and a branch on such a value is exactly
+ *    the runtime-dependent case the verifier reports as Warn.
+ *
+ * The machine mirrors Core::execute's observable effects (register
+ * writes, flags, effective addresses, load values) without touching a
+ * Core, a MainMemory, or any mutable state outside this object.
+ */
+
+#ifndef LIQUID_VERIFIER_DATAFLOW_HH
+#define LIQUID_VERIFIER_DATAFLOW_HH
+
+#include <array>
+
+#include "asm/program.hh"
+
+namespace liquid
+{
+
+/** Constant lattice: a known word or Top (runtime-dependent). */
+struct AbsVal
+{
+    bool known = false;
+    Word value = 0;
+
+    static AbsVal top() { return AbsVal{}; }
+    static AbsVal of(Word v) { return AbsVal{true, v}; }
+};
+
+/**
+ * Static analogue of RetireInfo: what the rule automaton would have
+ * observed on the retirement bus, with Top where the value depends on
+ * runtime state.
+ */
+struct AbsRetire
+{
+    const Inst *inst = nullptr;
+    int index = -1;
+    AbsVal value;           ///< load/mov/data-proc result, store data
+    AbsVal memAddr;         ///< effective address of loads/stores
+    bool branchTaken = false;  ///< branches; caller resolved it first
+};
+
+/** Tri-state branch outcome. */
+enum class Taken : std::int8_t
+{
+    No = 0,
+    Yes = 1,
+    Unknown = -1,
+};
+
+/** The abstract machine state for one region walk. */
+class AbsMachine
+{
+  public:
+    explicit AbsMachine(const Program &prog) : prog_(prog)
+    {
+        regs_.fill(AbsVal::top());
+    }
+
+    /**
+     * Apply one scalar instruction and produce its observation.
+     * For branches, @p taken reports whether the branch is taken, not
+     * taken, or statically undecidable; state is updated either way.
+     * Bl/Ret never reach the machine (the walker owns control flow).
+     */
+    AbsRetire step(const Inst &inst, int index, Taken &taken);
+
+    /** Instruction index of the last cmp (for Warn diagnostics). */
+    int lastCmpIndex() const { return lastCmpIndex_; }
+
+    bool flagsKnown() const { return flagsKnown_; }
+
+    AbsVal reg(RegId id) const { return read(id); }
+
+  private:
+    AbsVal read(RegId id) const;
+    void write(RegId id, AbsVal v);
+
+    /**
+     * Whether a store may have overwritten [addr, addr+size). Keeps
+     * constant-pool reads honest if a region writes into data the
+     * assembler marked read-only (or through an unknown address).
+     */
+    bool clobbered(Addr addr, unsigned size) const;
+
+    /** Mirror of Core::memEA over the abstract registers. */
+    AbsVal effectiveAddr(const Inst &inst) const;
+
+    /** Whether inst's condition holds: tri-state. */
+    Taken condHolds(Cond cond) const;
+
+    struct StoreRange
+    {
+        Addr addr;
+        unsigned size;
+    };
+
+    const Program &prog_;
+    std::array<AbsVal, 4 * regsPerClass> regs_;
+    bool flagsKnown_ = false;
+    int cmpState_ = 0;
+    int lastCmpIndex_ = -1;
+    std::vector<StoreRange> stores_;
+    bool unknownStore_ = false;
+};
+
+} // namespace liquid
+
+#endif // LIQUID_VERIFIER_DATAFLOW_HH

@@ -1,0 +1,71 @@
+#include "verifier/diagnostics.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace liquid
+{
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Ok: return "ok";
+      case Severity::Warn: return "warn";
+      case Severity::Error: return "error";
+    }
+    return "?";
+}
+
+bool
+ProgramReport::anyError() const
+{
+    return std::any_of(regions.begin(), regions.end(),
+                       [](const RegionReport &r) {
+                           return r.verdict == Severity::Error;
+                       });
+}
+
+std::string
+formatRegionReport(const RegionReport &report)
+{
+    std::ostringstream os;
+    os << "region ";
+    if (!report.entryLabel.empty())
+        os << report.entryLabel;
+    else
+        os << "@" << report.entryIndex;
+    os << " [inst " << report.entryIndex << "]: "
+       << severityName(report.verdict);
+
+    switch (report.verdict) {
+      case Severity::Ok:
+        os << " (width " << report.predictedWidth << ", "
+           << report.predictedUcode << " ucode insts";
+        if (report.predictedCvecs)
+            os << ", " << report.predictedCvecs << " cvecs";
+        os << ")";
+        break;
+      case Severity::Error:
+        os << " (" << abortReasonName(report.reason) << " ["
+           << reasonClassName(abortReasonClass(report.reason)) << "])";
+        break;
+      case Severity::Warn:
+        break;
+    }
+    os << "  blocks=" << report.blockCount
+       << " loops=" << report.loopCount
+       << " analyzed=" << report.analyzedInsts << '\n';
+
+    for (const Diagnostic &d : report.diags) {
+        os << "  " << severityName(d.severity);
+        if (d.severity == Severity::Error)
+            os << "[" << abortReasonName(d.reason) << "]";
+        if (d.instIndex >= 0)
+            os << " at inst " << d.instIndex;
+        os << ": " << d.message << '\n';
+    }
+    return os.str();
+}
+
+} // namespace liquid

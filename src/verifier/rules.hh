@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Static Table-1/Table-3 conformance analysis of one outlined region.
+ *
+ * analyzeRegion() walks the region's instructions from the entry,
+ * driving two coupled machines:
+ *  - an AbsMachine (dataflow.hh) that supplies the values the dynamic
+ *    translator would have observed on the retire bus, and
+ *  - a static mirror of the Translator's rule automaton (build /
+ *    verify / finalize / commit), identical decision-for-decision to
+ *    src/translator/translator.cc but consuming AbsRetire records
+ *    instead of hardware retires.
+ *
+ * The outcome is therefore a *prediction* of translateOffline() at the
+ * same width: Ok predicts a commit (with the exact microcode size and
+ * constant-pool count), Error predicts an abort with the given reason,
+ * and Warn means some decision needed runtime state the analysis
+ * cannot see (a branch on non-constant data, control flow leaving the
+ * text, a region longer than the analysis budget).
+ */
+
+#ifndef LIQUID_VERIFIER_RULES_HH
+#define LIQUID_VERIFIER_RULES_HH
+
+#include <string>
+#include <vector>
+
+#include "asm/program.hh"
+#include "translator/translator.hh"
+#include "verifier/diagnostics.hh"
+
+namespace liquid
+{
+
+/** Result of statically analyzing one region at one binding width. */
+struct StaticOutcome
+{
+    Severity verdict = Severity::Ok;
+    AbortReason reason = AbortReason::None;  ///< Error: predicted abort
+    int reasonIndex = -1;   ///< instruction index where it was decided
+    std::string warnCondition;  ///< Warn: the runtime condition
+
+    // Predictions, valid when the verdict is Ok.
+    unsigned ucodeInsts = 0;  ///< microcode size after collapse
+    unsigned cvecs = 0;       ///< constant vectors interned
+    unsigned loopsVerified = 0;
+
+    unsigned analyzedInsts = 0;   ///< abstract retires observed
+    std::vector<int> visited;     ///< distinct instruction indices walked
+};
+
+/**
+ * Statically analyze the region entered at @p entry_index, bound at
+ * @p capture_width lanes (the caller applies the width hint and any
+ * fallback halving, mirroring Translator::onCall).
+ */
+StaticOutcome analyzeRegion(const Program &prog, int entry_index,
+                            const TranslatorConfig &config,
+                            unsigned capture_width);
+
+} // namespace liquid
+
+#endif // LIQUID_VERIFIER_RULES_HH

@@ -1,0 +1,151 @@
+#include "verifier/verifier.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "verifier/cfg.hh"
+#include "verifier/rules.hh"
+
+namespace liquid
+{
+
+namespace
+{
+
+/** Ok-verdict coverage check: CFG-reachable but never analyzed. */
+void
+addCoverageDiags(const RegionCfg &cfg, const StaticOutcome &outcome,
+                 RegionReport &report)
+{
+    std::vector<int> unseen;
+    for (const int i : cfg.instructions()) {
+        if (!std::binary_search(outcome.visited.begin(),
+                                outcome.visited.end(), i))
+            unseen.push_back(i);
+    }
+    if (unseen.empty())
+        return;
+    std::ostringstream os;
+    os << unseen.size() << " instruction(s) reachable in the CFG were "
+       << "never executed on the analyzed path (first at inst "
+       << unseen.front()
+       << "); the prediction holds only while those paths stay cold";
+    Diagnostic d;
+    d.severity = Severity::Warn;
+    d.instIndex = unseen.front();
+    d.message = os.str();
+    report.diags.push_back(std::move(d));
+}
+
+} // namespace
+
+RegionReport
+verifyRegion(const Program &prog, int entry_index,
+             const VerifyOptions &opts, unsigned width_hint)
+{
+    RegionReport report;
+    report.entryIndex = entry_index;
+    report.entryLabel = prog.labelAt(entry_index);
+    report.requestedWidth = opts.config.simdWidth;
+    report.widthHint = width_hint;
+
+    const RegionCfg cfg = RegionCfg::build(prog, entry_index);
+    report.blockCount = static_cast<unsigned>(cfg.blocks().size());
+    report.loopCount = static_cast<unsigned>(cfg.loops().size());
+
+    if (cfg.fallsOffEnd()) {
+        Diagnostic d;
+        d.severity = Severity::Warn;
+        d.message = "a reachable path runs past the end of the "
+                    "program text";
+        report.diags.push_back(std::move(d));
+    }
+
+    // Mirror of Translator::onCall width binding.
+    unsigned bind = opts.config.simdWidth;
+    if (width_hint != 0)
+        bind = std::min(bind, width_hint);
+    if (bind < 2) {
+        report.verdict = Severity::Warn;
+        Diagnostic d;
+        d.severity = Severity::Warn;
+        d.instIndex = entry_index;
+        d.message = "effective width below 2: the translator never "
+                    "captures this region";
+        report.diags.push_back(std::move(d));
+        return report;
+    }
+
+    bool first_attempt = true;
+    for (; bind >= 2; bind /= 2) {
+        const StaticOutcome outcome =
+            analyzeRegion(prog, entry_index, opts.config, bind);
+        report.analyzedInsts = outcome.analyzedInsts;
+
+        if (outcome.verdict == Severity::Ok) {
+            report.verdict = Severity::Ok;
+            report.predictedWidth = bind;
+            report.predictedUcode = outcome.ucodeInsts;
+            report.predictedCvecs = outcome.cvecs;
+            Diagnostic d;
+            d.severity = Severity::Ok;
+            d.instIndex = entry_index;
+            std::ostringstream os;
+            os << "translation commits at width " << bind << " ("
+               << outcome.ucodeInsts << " microcode insts, "
+               << outcome.loopsVerified << " verified loop(s))";
+            d.message = os.str();
+            report.diags.push_back(std::move(d));
+            addCoverageDiags(cfg, outcome, report);
+            return report;
+        }
+
+        if (outcome.verdict == Severity::Warn) {
+            report.verdict = Severity::Warn;
+            Diagnostic d;
+            d.severity = Severity::Warn;
+            d.instIndex = outcome.reasonIndex;
+            d.message = outcome.warnCondition;
+            report.diags.push_back(std::move(d));
+            return report;
+        }
+
+        // Error at this width.
+        if (first_attempt) {
+            // The widest attempt's reason is the headline: it is what
+            // a single translateOffline() call at full width reports.
+            report.verdict = Severity::Error;
+            report.reason = outcome.reason;
+            first_attempt = false;
+        }
+        Diagnostic d;
+        d.severity = Severity::Error;
+        d.reason = outcome.reason;
+        d.instIndex = outcome.reasonIndex;
+        std::ostringstream os;
+        os << "translation aborts at width " << bind << ": "
+           << abortReasonName(outcome.reason) << " ("
+           << reasonClassName(abortReasonClass(outcome.reason))
+           << " check)";
+        d.message = os.str();
+        report.diags.push_back(std::move(d));
+
+        if (!opts.widthFallback ||
+            !abortIsWidthDependent(outcome.reason))
+            return report;
+    }
+    return report;
+}
+
+ProgramReport
+verifyProgram(const Program &prog, const VerifyOptions &opts)
+{
+    ProgramReport report;
+    for (const HintedCall &call : prog.hintedCalls()) {
+        report.regions.push_back(
+            verifyRegion(prog, call.target, opts, call.widthHint));
+    }
+    return report;
+}
+
+} // namespace liquid

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * liquid-verify: static Table-1 conformance verification of assembled
+ * programs (library API; the CLI front-end is tools/liquid_verify).
+ *
+ * verifyProgram() finds every outlined region (hinted bl target),
+ * reconstructs its CFG and runs the static rule analysis at the widths
+ * the dynamic translator would try, producing one RegionReport per
+ * region: Ok (translation will commit; predicted width/microcode size
+ * attached), Error (translation will abort; predicted reason
+ * attached) or Warn (runtime-dependent; the condition is named).
+ */
+
+#ifndef LIQUID_VERIFIER_VERIFIER_HH
+#define LIQUID_VERIFIER_VERIFIER_HH
+
+#include "asm/program.hh"
+#include "translator/translator.hh"
+#include "verifier/diagnostics.hh"
+
+namespace liquid
+{
+
+/** Verification options. */
+struct VerifyOptions
+{
+    /** Target translator/accelerator model to verify against. */
+    TranslatorConfig config;
+    /**
+     * Mirror the translator's width fallback: when an attempt fails
+     * with a width-dependent reason, retry at half width before
+     * concluding. Disable to predict a single translateOffline() call.
+     */
+    bool widthFallback = true;
+};
+
+/**
+ * Verify the region entered at @p entry_index against the options'
+ * translator model. @p width_hint is the region's compiled maximum
+ * vectorizable width (the bl.simd<N> operand; 0 = none).
+ */
+RegionReport verifyRegion(const Program &prog, int entry_index,
+                          const VerifyOptions &opts,
+                          unsigned width_hint = 0);
+
+/** Verify every hinted outlined region of @p prog. */
+ProgramReport verifyProgram(const Program &prog,
+                            const VerifyOptions &opts);
+
+} // namespace liquid
+
+#endif // LIQUID_VERIFIER_VERIFIER_HH

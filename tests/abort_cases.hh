@@ -1,0 +1,421 @@
+/**
+ * @file
+ * Shared table of hand-built regions that each trip exactly one of the
+ * translator's legality checks. The abort-reason test asserts the
+ * dynamic translator reports the canonical reason; the verifier tests
+ * assert the static analysis predicts the same reason without
+ * executing anything; the differential test cross-checks both.
+ *
+ * Every case defines label `fn` as the region entry and a `main` with
+ * hinted calls so the same source also runs under a full System.
+ */
+
+#ifndef LIQUID_TESTS_ABORT_CASES_HH
+#define LIQUID_TESTS_ABORT_CASES_HH
+
+#include <string>
+#include <vector>
+
+#include "asm/assembler.hh"
+#include "translator/abort_reason.hh"
+
+namespace liquid
+{
+
+struct AbortCase
+{
+    /** Canonical reason name; doubles as the test label. */
+    const char *name;
+    AbortReason reason;
+    unsigned width;       ///< capture width the abort manifests at
+    std::string src;      ///< assembly; region entry is `fn`
+};
+
+inline std::string
+withMain(const std::string &body)
+{
+    return body + R"(
+    main:
+        bl.simd fn
+        halt
+)";
+}
+
+/** >64 emitted microcode instructions: straight-line mov flood. */
+inline std::string
+ucodeOverflowSrc()
+{
+    std::string body = "    fn:\n";
+    for (int i = 0; i < 70; ++i)
+        body += "        mov r1, #" + std::to_string(i) + "\n";
+    body += "        ret\n";
+    return withMain(body);
+}
+
+inline const std::vector<AbortCase> &
+abortCases()
+{
+    static const std::vector<AbortCase> cases = {
+        // -- structure --------------------------------------------------
+        {"nestedCall", AbortReason::NestedCall, 8, withMain(R"(
+            fn:
+                bl helper
+                ret
+            helper:
+                ret
+        )")},
+        {"forwardBranch", AbortReason::ForwardBranch, 8, withMain(R"(
+            fn:
+                b skip
+            skip:
+                ret
+        )")},
+        {"retInsideLoop", AbortReason::RetInsideLoop, 8, withMain(R"(
+            fn:
+                mov r0, #0
+            top:
+                add r0, r0, #1
+                cmp r0, #4
+                bge out
+                b top
+            out:
+                ret
+        )")},
+        {"backedgeTargetUnseen", AbortReason::BackedgeTargetUnseen, 8,
+         withMain(R"(
+            pre:
+                halt
+            fn:
+                mov r0, #0
+                cmp r0, #5
+                blt pre
+                ret
+        )")},
+        {"shapeMismatch", AbortReason::ShapeMismatch, 8, withMain(R"(
+            fn:
+                mov r0, #0
+                mov r2, r3
+            top:
+                add r0, r0, #1
+                cmp r0, #3
+                beq skip
+                mov r2, r3
+            skip:
+                cmp r0, #8
+                blt top
+                ret
+        )")},
+        {"vectorOutsideLoop", AbortReason::VectorOutsideLoop, 8,
+         withMain(R"(
+            .words a 1 2 3 4 5 6 7 8
+            .data b 32
+            fn:
+                mov r0, #0
+                ldw r1, [a + r0]
+                add r1, r1, #1
+                stw [b + r0], r1
+                ret
+        )")},
+        {"danglingBranch", AbortReason::DanglingBranch, 8, withMain(R"(
+            fn:
+                mov r0, #0
+                cmp r0, #5
+                bgt far
+                ret
+            far:
+                halt
+        )")},
+        {"idiomIncomplete", AbortReason::IdiomIncomplete, 8, withMain(R"(
+            .words a 1 2 3 4 5 6 7 8
+            .words b 1 1 1 1 1 1 1 1
+            fn:
+                mov r0, #0
+                ldw r1, [a + r0]
+                ldw r2, [b + r0]
+                add r1, r1, r2
+                cmp r1, #32767
+                ret
+        )")},
+        {"unfinalizedPatches", AbortReason::UnfinalizedPatches, 8,
+         withMain(R"(
+            .rowords off 1 0 1 0 1 0 1 0
+            .words a 1 2 3 4 5 6 7 8
+            .data b 32
+            fn:
+                mov r0, #0
+                ldw r1, [off + r0]
+                add r2, r0, r1
+                ldw r3, [a + r2]
+                stw [b + r0], r3
+                ret
+        )")},
+
+        // -- opcode -----------------------------------------------------
+        {"vectorOpcode", AbortReason::VectorOpcode, 8, withMain(R"(
+            fn:
+                mov r0, #0
+                cmp r0, #5
+                vaddgt v1, v1, v1
+                ret
+        )")},
+        {"untranslatableOpcode", AbortReason::UntranslatableOpcode, 8,
+         withMain(R"(
+            fn:
+                nop
+                ret
+        )")},
+        {"conditionalMov", AbortReason::ConditionalMov, 8, withMain(R"(
+            fn:
+                mov r1, #3
+                cmp r1, #1
+                movgt r2, #7
+                ret
+        )")},
+        {"movFromNonScalar", AbortReason::MovFromNonScalar, 8,
+         withMain(R"(
+            fn:
+                mov r0, #0
+                mov r1, r0
+                ret
+        )")},
+        {"loadWithoutIndex", AbortReason::LoadWithoutIndex, 8,
+         withMain(R"(
+            .words a 1 2
+            fn:
+                ldw r1, [a]
+                ret
+        )")},
+        {"loadBadIndex", AbortReason::LoadBadIndex, 8, withMain(R"(
+            .words a 1 2 3 4
+            fn:
+                mov r1, r2
+                ldw r3, [a + r1]
+                ret
+        )")},
+        {"storeWithoutIndex", AbortReason::StoreWithoutIndex, 8,
+         withMain(R"(
+            .data b 16
+            fn:
+                mov r1, #1
+                stw [b], r1
+                ret
+        )")},
+        {"storeScalarData", AbortReason::StoreScalarData, 8, withMain(R"(
+            .data b 32
+            fn:
+                mov r0, #0
+                mov r1, #7
+                stw [b + r0], r1
+                ret
+        )")},
+        {"storeBadIndex", AbortReason::StoreBadIndex, 8, withMain(R"(
+            .words a 1 2 3 4 5 6 7 8
+            .data b 32
+            fn:
+                mov r0, #0
+                ldw r2, [a + r0]
+                mov r1, r3
+                stw [b + r1], r2
+                ret
+        )")},
+        {"vectorCompare", AbortReason::VectorCompare, 8, withMain(R"(
+            .words a 1 2 3 4 5 6 7 8
+            fn:
+                mov r0, #0
+                ldw r1, [a + r0]
+                cmp r1, #5
+                ret
+        )")},
+        {"unsupportedReduction", AbortReason::UnsupportedReduction, 8,
+         withMain(R"(
+            .words a 1 2 3 4 5 6 7 8
+            fn:
+                mov r0, #0
+                ldw r2, [a + r0]
+                mov r1, r3
+                sub r1, r1, r2
+                ret
+        )")},
+        {"vectorScalarMix", AbortReason::VectorScalarMix, 8, withMain(R"(
+            .words a 1 2 3 4 5 6 7 8
+            fn:
+                mov r0, #0
+                ldw r2, [a + r0]
+                mov r1, r3
+                add r4, r2, r1
+                ret
+        )")},
+        {"offsetsInArithmetic", AbortReason::OffsetsInArithmetic, 8,
+         withMain(R"(
+            .rowords off 1 0 1 0 1 0 1 0
+            fn:
+                mov r0, #0
+                ldw r1, [off + r0]
+                add r2, r0, r1
+                add r3, r2, #1
+                ret
+        )")},
+        {"ivArithmetic", AbortReason::IvArithmetic, 8, withMain(R"(
+            fn:
+                mov r0, #0
+                add r1, r0, r0
+                ret
+        )")},
+
+        // -- idiom ------------------------------------------------------
+        {"idiomShape", AbortReason::IdiomShape, 8, withMain(R"(
+            .words a 1 2 3 4 5 6 7 8
+            fn:
+                mov r0, #0
+                ldw r1, [a + r0]
+                cmp r1, #32767
+                mov r2, #5
+                ret
+        )")},
+        {"idiomBadProducer", AbortReason::IdiomBadProducer, 8,
+         withMain(R"(
+            .words a 1 2 3 4 5 6 7 8
+            fn:
+                mov r0, #0
+                ldw r1, [a + r0]
+                cmp r1, #32767
+                movgt r1, #32767
+                cmp r1, #-32768
+                movlt r1, #-32768
+                ret
+        )")},
+
+        // -- dataflow ---------------------------------------------------
+        {"valueTooWide", AbortReason::ValueTooWide, 8, withMain(R"(
+            .rowords t 1 1000 2 3 4 5 6 7 8 9 10 11 12 13 14 15
+            .words a 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1
+            .data b 64
+            fn:
+                mov r0, #0
+            top:
+                ldw r1, [a + r0]
+                ldw r2, [t + r0]
+                add r3, r1, r2
+                stw [b + r0], r3
+                add r0, r0, #1
+                cmp r0, #16
+                blt top
+                ret
+        )")},
+        {"addressMismatch", AbortReason::AddressMismatch, 8, withMain(R"(
+            .words a 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16
+            .data b 64
+            fn:
+                mov r0, #0
+            top:
+                ldw r1, [a + r0]
+                stw [b + r0], r1
+                add r0, r0, #2
+                cmp r0, #16
+                blt top
+                ret
+        )")},
+        {"ivMismatch", AbortReason::IvMismatch, 8, withMain(R"(
+            fn:
+                mov r0, #0
+            top:
+                add r0, r0, #1
+                add r0, r0, #1
+                cmp r0, #16
+                blt top
+                ret
+        )")},
+        {"memoryDependence", AbortReason::MemoryDependence, 8,
+         withMain(R"(
+            .words a 1 2 3 4 5 6 7 8 9
+            fn:
+                mov r0, #0
+            top:
+                ldw r1, [a + r0]
+                stw [a + r0 + #1], r1
+                add r0, r0, #1
+                cmp r0, #8
+                blt top
+                ret
+        )")},
+
+        // -- width ------------------------------------------------------
+        {"tripCount", AbortReason::TripCount, 8, withMain(R"(
+            .words a 1 2 3 4
+            .data b 32
+            fn:
+                mov r0, #0
+            top:
+                ldw r1, [a + r0]
+                add r1, r1, #1
+                stw [b + r0], r1
+                add r0, r0, #1
+                cmp r0, #4
+                blt top
+                ret
+        )")},
+        {"unsupportedShuffle", AbortReason::UnsupportedShuffle, 8,
+         withMain(R"(
+            .rowords off 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0
+            .words a 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16
+            .data b 64
+            fn:
+                mov r0, #0
+            top:
+                ldw r1, [off + r0]
+                add r2, r0, r1
+                ldw r3, [a + r2]
+                stw [b + r0], r3
+                add r0, r0, #1
+                cmp r0, #16
+                blt top
+                ret
+        )")},
+        {"valueMismatch", AbortReason::ValueMismatch, 8, withMain(R"(
+            .rowords t 0 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15
+            .words a 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1
+            .data b 64
+            fn:
+                mov r0, #0
+            top:
+                ldw r1, [a + r0]
+                ldw r2, [t + r0]
+                add r3, r1, r2
+                stw [b + r0], r3
+                add r0, r0, #1
+                cmp r0, #16
+                blt top
+                ret
+        )")},
+        {"lanesIncomplete", AbortReason::LanesIncomplete, 8, withMain(R"(
+            .rowords off 0 0 0 0 0 0 0 0
+            .words a 1 2 3 4 5 6 7 8
+            .words c 1 2 3 4 5 6 7 8
+            .data b 64
+            .data d 64
+            fn:
+                mov r0, #0
+                ldw r1, [off + r0]
+                add r2, r0, r1
+                ldw r3, [a + r2]
+                stw [b + r0], r3
+            top:
+                ldw r4, [c + r0]
+                add r4, r4, #1
+                stw [d + r0], r4
+                add r0, r0, #1
+                cmp r0, #8
+                blt top
+                ret
+        )")},
+
+        // -- capacity ---------------------------------------------------
+        {"ucodeOverflow", AbortReason::UcodeOverflow, 8,
+         ucodeOverflowSrc()},
+    };
+    return cases;
+}
+
+} // namespace liquid
+
+#endif // LIQUID_TESTS_ABORT_CASES_HH

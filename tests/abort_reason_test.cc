@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The abort-reason taxonomy is a tool contract: canonical names must
+ * round-trip through the parser, every legality check must report its
+ * canonical reason through the offline translator's OfflineResult, and
+ * the dynamic translator must key its statistic counters by the same
+ * name ("abort.<name>").
+ */
+
+#include <gtest/gtest.h>
+
+#include "abort_cases.hh"
+#include "sim/system.hh"
+#include "translator/offline.hh"
+
+namespace liquid
+{
+namespace
+{
+
+TEST(AbortReason, CanonicalNamesRoundTrip)
+{
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(AbortReason::NumReasons); ++i) {
+        const auto reason = static_cast<AbortReason>(i);
+        const char *name = abortReasonName(reason);
+        ASSERT_NE(name, nullptr);
+        EXPECT_FALSE(std::string(name).empty());
+        EXPECT_EQ(parseAbortReason(name), reason) << name;
+    }
+    EXPECT_EQ(parseAbortReason("notAReason"), AbortReason::NumReasons);
+    EXPECT_EQ(parseAbortReason(""), AbortReason::NumReasons);
+}
+
+TEST(AbortReason, ClassGrouping)
+{
+    EXPECT_EQ(abortReasonClass(AbortReason::None), ReasonClass::None);
+    EXPECT_EQ(abortReasonClass(AbortReason::NestedCall),
+              ReasonClass::Structure);
+    EXPECT_EQ(abortReasonClass(AbortReason::UnfinalizedPatches),
+              ReasonClass::Structure);
+    EXPECT_EQ(abortReasonClass(AbortReason::VectorOpcode),
+              ReasonClass::Opcode);
+    EXPECT_EQ(abortReasonClass(AbortReason::IvArithmetic),
+              ReasonClass::Opcode);
+    EXPECT_EQ(abortReasonClass(AbortReason::IdiomShape),
+              ReasonClass::Idiom);
+    EXPECT_EQ(abortReasonClass(AbortReason::MemoryDependence),
+              ReasonClass::Dataflow);
+    EXPECT_EQ(abortReasonClass(AbortReason::TripCount),
+              ReasonClass::Width);
+    EXPECT_EQ(abortReasonClass(AbortReason::UcodeOverflow),
+              ReasonClass::Capacity);
+    EXPECT_EQ(abortReasonClass(AbortReason::Interrupt),
+              ReasonClass::Runtime);
+
+    // Exactly the Width class is retried at narrower bindings.
+    EXPECT_TRUE(abortIsWidthDependent(AbortReason::TripCount));
+    EXPECT_TRUE(abortIsWidthDependent(AbortReason::UnsupportedShuffle));
+    EXPECT_TRUE(abortIsWidthDependent(AbortReason::ValueMismatch));
+    EXPECT_TRUE(abortIsWidthDependent(AbortReason::LanesIncomplete));
+    EXPECT_FALSE(abortIsWidthDependent(AbortReason::MemoryDependence));
+    EXPECT_FALSE(abortIsWidthDependent(AbortReason::UcodeOverflow));
+}
+
+/**
+ * Table-driven: one curated region per legality check; the offline
+ * translator must abort with exactly that check's canonical reason.
+ */
+TEST(AbortReason, EveryLegalityCheckReportsItsCanonicalReason)
+{
+    for (const AbortCase &c : abortCases()) {
+        SCOPED_TRACE(c.name);
+        EXPECT_STREQ(abortReasonName(c.reason), c.name);
+
+        const Program prog = assemble(c.src);
+        const OfflineResult off =
+            translateOffline(prog, prog.labelIndex("fn"), c.width);
+        EXPECT_FALSE(off.ok);
+        EXPECT_EQ(off.reason, c.reason);
+        EXPECT_EQ(off.abortReason, c.name);
+    }
+}
+
+/** The hardware translator keys its abort counters by the same names. */
+TEST(AbortReason, DynamicStatsKeyedByCanonicalName)
+{
+    for (const AbortCase &c : abortCases()) {
+        SCOPED_TRACE(c.name);
+        const Program prog = assemble(c.src);
+        System sys(SystemConfig::make(ExecMode::Liquid, c.width), prog);
+        sys.run();
+        EXPECT_EQ(sys.translator().stats().get(std::string("abort.") +
+                                               c.name),
+                  1u);
+        EXPECT_EQ(sys.translator().stats().get("translations"), 0u);
+    }
+}
+
+} // namespace
+} // namespace liquid

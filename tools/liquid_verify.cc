@@ -1,0 +1,163 @@
+/**
+ * @file
+ * liquid-verify: static Table-1 conformance verifier.
+ *
+ * Assembles a .s file and, without executing it on the simulator,
+ * predicts what the dynamic translator will do with every outlined
+ * region: commit (with the bound width and microcode size), abort
+ * (with the reason), or a runtime-dependent outcome (warn).
+ *
+ *   liquid-verify prog.s                # verify at width 8
+ *   liquid-verify -w 16 prog.s          # verify against 16 lanes
+ *   liquid-verify --no-fallback prog.s  # single-width prediction
+ *   liquid-verify --suite               # verify the workload suite
+ *
+ * Exit status: 0 when no region has an Error verdict, 1 otherwise,
+ * 2 on usage/assembly problems.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "asm/assembler.hh"
+#include "verifier/verifier.hh"
+#include "workloads/workload.hh"
+
+using namespace liquid;
+
+namespace
+{
+
+struct Options
+{
+    std::string file;
+    unsigned width = 8;
+    bool fallback = true;
+    bool werror = false;
+    bool suite = false;
+};
+
+void
+usage()
+{
+    std::cout <<
+        "usage: liquid-verify [options] program.s\n"
+        "       liquid-verify [options] --suite\n"
+        "  -w, --width N    SIMD lanes to verify against: 2/4/8/16 (8)\n"
+        "  --no-fallback    do not retry failed regions at half width\n"
+        "  --werror         treat warn verdicts as errors\n"
+        "  --suite          verify every workload-suite kernel instead"
+        " of a file\n";
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-w" || arg == "--width") {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << arg << '\n';
+                return false;
+            }
+            opt.width = static_cast<unsigned>(std::stoul(argv[++i]));
+        } else if (arg == "--no-fallback") {
+            opt.fallback = false;
+        } else if (arg == "--suite") {
+            opt.suite = true;
+        } else if (arg == "--werror") {
+            opt.werror = true;
+        } else if (arg == "-h" || arg == "--help") {
+            usage();
+            std::exit(0);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "unknown option '" << arg << "'\n";
+            return false;
+        } else if (opt.file.empty()) {
+            opt.file = arg;
+        } else {
+            std::cerr << "multiple input files\n";
+            return false;
+        }
+    }
+    if (opt.file.empty() && !opt.suite) {
+        usage();
+        return false;
+    }
+    if (!opt.file.empty() && opt.suite) {
+        std::cerr << "--suite does not take an input file\n";
+        return false;
+    }
+    return true;
+}
+
+/** Tally one program's report; returns false on an Error verdict. */
+bool
+report(const Program &prog, const Options &opt, unsigned &ok,
+       unsigned &warn, unsigned &error)
+{
+    VerifyOptions vopts;
+    vopts.config.simdWidth = opt.width;
+    vopts.widthFallback = opt.fallback;
+
+    const ProgramReport rep = verifyProgram(prog, vopts);
+    for (const RegionReport &r : rep.regions) {
+        std::cout << formatRegionReport(r);
+        switch (r.verdict) {
+          case Severity::Ok: ++ok; break;
+          case Severity::Warn: ++warn; break;
+          case Severity::Error: ++error; break;
+        }
+    }
+    return !rep.regions.empty();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt))
+        return 2;
+
+    unsigned ok = 0, warn = 0, error = 0;
+    try {
+        if (opt.suite) {
+            for (const auto &wl : makeSuite()) {
+                std::cout << "== " << wl->name() << '\n';
+                const Workload::Build build = wl->build(
+                    EmitOptions::Mode::Scalarized, opt.width, true);
+                report(build.prog, opt, ok, warn, error);
+            }
+        } else {
+            std::ifstream in(opt.file);
+            if (!in) {
+                std::cerr << "cannot open '" << opt.file << "'\n";
+                return 2;
+            }
+            std::ostringstream source;
+            source << in.rdbuf();
+            const Program prog = assemble(source.str());
+            if (!report(prog, opt, ok, warn, error)) {
+                std::cout << "no hinted regions found\n";
+                return 0;
+            }
+        }
+
+        std::cout << ok + warn + error << " region(s): " << ok
+                  << " ok, " << warn << " warn, " << error
+                  << " error\n";
+        if (error || (opt.werror && warn))
+            return 1;
+    } catch (const FatalError &e) {
+        std::cerr << e.what() << '\n';
+        return 2;
+    } catch (const PanicError &e) {
+        std::cerr << e.what() << '\n';
+        return 2;
+    }
+    return 0;
+}
