@@ -1,5 +1,6 @@
 #include "scalarizer/scalarizer.hh"
 
+#include <algorithm>
 #include <map>
 #include <optional>
 #include <set>
@@ -621,6 +622,12 @@ class ScalarEmitter
                                       prog_.ref(fnName_ + "_sab", iv_)));
             intPool_.release(rt);
         }
+        if (sabotage_here &&
+            (opts_.sabotage == Sabotage::OverlapStoreStore ||
+             opts_.sabotage == Sabotage::OverlapLoadAhead ||
+             opts_.sabotage == Sabotage::OverlapStoreAfterLoad)) {
+            emitOverlapSabotage();
+        }
 
         regOf_.clear();
         for (std::size_t p = 0; p < items.size(); ++p) {
@@ -644,6 +651,105 @@ class ScalarEmitter
         prog_.addInst(Inst::cmpImm(
             iv_, static_cast<std::int32_t>(kernel_.tripCount())));
         prog_.addInst(Inst::branch(Cond::LT, -1, top));
+    }
+
+    /**
+     * Plant a loop-carried memory dependence at a known iteration
+     * distance inside the stage-0 loop body (Overlap* sabotage). The
+     * scratch arrays are allocated here — after every kernel array —
+     * so their bases sit above all kernel load streams and the only
+     * overlaps the translator or depcheck can see are the intended
+     * intra-sabotage ones. All three kernels are idempotent functions
+     * of read-only-ish state and the induction variable, so a
+     * SIMD/scalar divergence survives repeated region calls instead
+     * of washing out.
+     */
+    void
+    emitOverlapSabotage()
+    {
+        using Sabotage = EmitOptions::Sabotage;
+        const unsigned trip = kernel_.tripCount();
+        const unsigned d = std::max(1u, opts_.sabotageDistance);
+
+        // Shared scratch array, sized so loads/stores displaced by +d
+        // stay in bounds. Distinct per-element init values keep any
+        // wrong-order execution observable.
+        const std::string arr = fnName_ + "_sabarr";
+        std::vector<Word> arr_init;
+        for (unsigned i = 0; i < trip + d; ++i)
+            arr_init.push_back(3000 + i);
+        prog_.allocWords(arr, arr_init, 64);
+
+        switch (opts_.sabotage) {
+          case Sabotage::OverlapStoreStore: {
+            // arr[i] = in1[i]; arr[i+d] = in2[i] — a carried output
+            // dependence between two stores. The translator's
+            // finalize-time check only compares stores against load
+            // streams, so it commits; the vector groups then run all
+            // arr[i] lanes before all arr[i+d] lanes, flipping the
+            // last-writer whenever d < width.
+            std::vector<Word> in1, in2;
+            for (unsigned i = 0; i < trip; ++i) {
+                in1.push_back(1000 + i);
+                in2.push_back(5000 + i);
+            }
+            prog_.allocWords(fnName_ + "_sabin", in1, 64);
+            prog_.allocWords(fnName_ + "_sabin2", in2, 64);
+            RegId rt = intPool_.alloc();
+            prog_.addInst(Inst::load(
+                Opcode::Ldw, rt, prog_.ref(fnName_ + "_sabin", iv_)));
+            prog_.addInst(Inst::store(Opcode::Stw, rt,
+                                      prog_.ref(arr, iv_)));
+            prog_.addInst(Inst::load(
+                Opcode::Ldw, rt, prog_.ref(fnName_ + "_sabin2", iv_)));
+            prog_.addInst(Inst::store(
+                Opcode::Stw, rt,
+                prog_.ref(arr, iv_, static_cast<std::int32_t>(d))));
+            intPool_.release(rt);
+            break;
+          }
+          case Sabotage::OverlapLoadAhead: {
+            // arr[i] = out[i]; out[i] = arr[i+d] — the store sits at
+            // the *base* of the load stream it feeds, so the
+            // translator's (s0 > l0) interval test passes and it
+            // commits. Vector groups write the whole arr block before
+            // reading arr[i+d], so lanes with i+d inside the group
+            // read this call's values instead of last call's.
+            std::vector<Word> outv;
+            for (unsigned i = 0; i < trip; ++i)
+                outv.push_back(1000 + i);
+            prog_.allocWords(fnName_ + "_sabout", outv, 64);
+            RegId rt = intPool_.alloc();
+            prog_.addInst(Inst::load(
+                Opcode::Ldw, rt, prog_.ref(fnName_ + "_sabout", iv_)));
+            prog_.addInst(Inst::store(Opcode::Stw, rt,
+                                      prog_.ref(arr, iv_)));
+            prog_.addInst(Inst::load(
+                Opcode::Ldw, rt,
+                prog_.ref(arr, iv_, static_cast<std::int32_t>(d))));
+            prog_.addInst(Inst::store(
+                Opcode::Stw, rt, prog_.ref(fnName_ + "_sabout", iv_)));
+            intPool_.release(rt);
+            break;
+          }
+          case Sabotage::OverlapStoreAfterLoad: {
+            // arr[i+d] = arr[i] — the store lands strictly inside the
+            // load stream, the one shape the translator's interval
+            // test does catch: it aborts (memoryDependence) at every
+            // width, even for d >= width where the vector execution
+            // would have been safe.
+            RegId rt = intPool_.alloc();
+            prog_.addInst(Inst::load(Opcode::Ldw, rt,
+                                     prog_.ref(arr, iv_)));
+            prog_.addInst(Inst::store(
+                Opcode::Stw, rt,
+                prog_.ref(arr, iv_, static_cast<std::int32_t>(d))));
+            intPool_.release(rt);
+            break;
+          }
+          default:
+            break;
+        }
     }
 
     RegId

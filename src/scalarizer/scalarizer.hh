@@ -62,8 +62,36 @@ struct EmitOptions
         ForwardBranch,     ///< taken forward b at entry -> forwardBranch
         IvArithmetic,      ///< IV-derived arithmetic -> ivArithmetic
         ScalarStore,       ///< non-vector store data -> storeScalarData
+
+        // Loop-carried memory-dependence kernels at a known iteration
+        // distance (sabotageDistance). These exercise depcheck and the
+        // differential oracle rather than a single abort reason.
+        /**
+         * Two unit-stride stores into one array, the second offset by
+         * +distance: a carried output dependence the translator's
+         * store-vs-load check never sees. Translation commits; SIMD
+         * diverges from scalar iff distance < width.
+         */
+        OverlapStoreStore,
+        /**
+         * Store to arr[i], then load arr[i+distance] feeding a store
+         * to a second array: a carried anti/flow pair the interval
+         * test passes (the store sits below the load stream).
+         * Translation commits; SIMD diverges iff distance < width.
+         */
+        OverlapLoadAhead,
+        /**
+         * Load arr[i], store arr[i+distance]: the one overlap shape
+         * the translator's interval check does catch. Translation
+         * aborts (memoryDependence) at every width, even when
+         * distance >= width makes the loop provably safe — the
+         * conservative-abort case depcheck documents.
+         */
+        OverlapStoreAfterLoad,
     };
     Sabotage sabotage = Sabotage::None;
+    /** Carried iteration distance for the Overlap* modes. */
+    unsigned sabotageDistance = 1;
 };
 
 /** Code-generation outputs. */

@@ -86,4 +86,27 @@ costModelReport(const CostModelParams &params, const CostModelResult &r)
     return os.str();
 }
 
+RegionCostEstimate
+estimateRegionCost(const RegionCostInputs &in)
+{
+    RegionCostEstimate est;
+    if (in.width == 0 || in.scalarInsts == 0)
+        return est;
+
+    est.scalarCycles = static_cast<double>(in.scalarInsts);
+
+    // Non-loop microcode (prologue/epilogue) runs once; each loop-body
+    // slot runs once per vector group of `width` scalar iterations.
+    const unsigned straight = in.ucodeInsts >= in.ucodeLoopInsts
+                                  ? in.ucodeInsts - in.ucodeLoopInsts
+                                  : 0;
+    const unsigned groups = (in.loopIters + in.width - 1) / in.width;
+    est.simdCycles = static_cast<double>(straight) +
+                     static_cast<double>(in.ucodeLoopInsts) *
+                         static_cast<double>(groups);
+    if (est.simdCycles > 0)
+        est.speedup = est.scalarCycles / est.simdCycles;
+    return est;
+}
+
 } // namespace liquid

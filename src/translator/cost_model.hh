@@ -63,6 +63,31 @@ struct CostModelResult
 /** Evaluate the model. */
 CostModelResult evalCostModel(const CostModelParams &params);
 
+/**
+ * Per-region execution-time estimate for a translated region, derived
+ * from the static verifier's commit prediction. The unit is "dynamic
+ * instructions at 1 IPC": the scalar baseline replays every analyzed
+ * retire, while the SIMD estimate runs the non-loop microcode once and
+ * each loop-body slot once per vector group (ceil(iters / width)).
+ */
+struct RegionCostInputs
+{
+    unsigned scalarInsts = 0;    ///< abstract retires in the region
+    unsigned ucodeInsts = 0;     ///< committed microcode slots
+    unsigned ucodeLoopInsts = 0; ///< committed slots inside loop bodies
+    unsigned loopIters = 0;      ///< scalar iterations across all loops
+    unsigned width = 0;          ///< bound SIMD width
+};
+
+struct RegionCostEstimate
+{
+    double scalarCycles = 0.0;
+    double simdCycles = 0.0;
+    double speedup = 0.0;  ///< scalarCycles / simdCycles; 0 if undefined
+};
+
+RegionCostEstimate estimateRegionCost(const RegionCostInputs &in);
+
 /** Render a Table-2-style report. */
 std::string costModelReport(const CostModelParams &params,
                             const CostModelResult &result);

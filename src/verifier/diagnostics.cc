@@ -1,6 +1,7 @@
 #include "verifier/diagnostics.hh"
 
 #include <algorithm>
+#include <iomanip>
 #include <sstream>
 
 namespace liquid
@@ -49,6 +50,8 @@ formatRegionReport(const RegionReport &report)
       case Severity::Error:
         os << " (" << abortReasonName(report.reason) << " ["
            << reasonClassName(abortReasonClass(report.reason)) << "])";
+        if (report.depMiscompile)
+            os << " [silent miscompile: translator commits]";
         break;
       case Severity::Warn:
         break;
@@ -56,6 +59,19 @@ formatRegionReport(const RegionReport &report)
     os << "  blocks=" << report.blockCount
        << " loops=" << report.loopCount
        << " analyzed=" << report.analyzedInsts << '\n';
+
+    if (report.verdict == Severity::Ok && report.predictedSpeedup > 0) {
+        os << "  cost: scalar " << report.predictedScalarCycles
+           << " cyc, simd " << report.predictedSimdCycles
+           << " cyc, speedup " << std::fixed << std::setprecision(2)
+           << report.predictedSpeedup << "x\n";
+        os.unsetf(std::ios::fixed);
+    }
+    if (report.depAnalyzed && report.dep.analyzed &&
+        report.verdict == Severity::Ok && report.predictedWidth) {
+        os << "  dep: " << report.dep.proofSummary(report.predictedWidth)
+           << '\n';
+    }
 
     for (const Diagnostic &d : report.diags) {
         os << "  " << severityName(d.severity);

@@ -6,7 +6,9 @@
  *  - Ok:    the dynamic translator will commit this region; the report
  *           carries the predicted binding width and microcode size.
  *  - Error: the dynamic translator will abort, with the predicted
- *           AbortReason.
+ *           AbortReason — unless RegionReport::depMiscompile is set,
+ *           in which case the translator commits but the committed
+ *           microcode provably diverges from scalar semantics.
  *  - Warn:  the outcome depends on runtime state the analysis cannot
  *           see (a branch on runtime data, an unexercised path, an
  *           interrupt); the message names the runtime condition.
@@ -19,6 +21,7 @@
 #include <vector>
 
 #include "translator/abort_reason.hh"
+#include "verifier/depcheck.hh"
 
 namespace liquid
 {
@@ -61,6 +64,25 @@ struct RegionReport
     unsigned predictedWidth = 0;   ///< width the region binds at
     unsigned predictedUcode = 0;   ///< microcode instructions after collapse
     unsigned predictedCvecs = 0;   ///< constant vectors interned
+
+    // Cost-model estimate, valid when the verdict is Ok.
+    double predictedScalarCycles = 0.0;  ///< scalar loop dynamic insts
+    double predictedSimdCycles = 0.0;    ///< translated-region estimate
+    double predictedSpeedup = 0.0;       ///< scalar / simd
+
+    /**
+     * Memory-dependence analysis of the region (tentpole). When
+     * depAnalyzed is set, `dep` holds the full stride/distance
+     * analysis; an Ok verdict carries the safety proof and an Error
+     * verdict with depMiscompile set predicts that the translator
+     * COMMITS but the committed microcode diverges from scalar
+     * semantics (a silent miscompile the dynamic dependence check
+     * cannot see). depMiscompile is the one case where an Error
+     * verdict does not predict a dynamic abort.
+     */
+    bool depAnalyzed = false;
+    bool depMiscompile = false;
+    DepcheckResult dep;
 
     // Static structure, always valid.
     unsigned blockCount = 0;       ///< CFG basic blocks

@@ -97,6 +97,8 @@ class StaticAutomaton
     unsigned committedUcode() const { return committedUcode_; }
     unsigned committedCvecs() const { return committedCvecs_; }
     unsigned loopsVerified() const { return loopsVerified_; }
+    unsigned committedLoopUcode() const { return committedLoopUcode_; }
+    unsigned itersTotal() const { return itersTotal_; }
     bool inLoop() const { return mode_ == Mode::Verify; }
 
   private:
@@ -843,6 +845,7 @@ class StaticAutomaton
             ucode_[i].loopVerified = true;
 
         ++loopsVerified_;
+        itersTotal_ += itersDone_;
     }
 
     void
@@ -855,6 +858,7 @@ class StaticAutomaton
 
         std::vector<int> new_index(ucode_.size(), -1);
         unsigned out = 0;
+        unsigned loop_out = 0;
         for (std::size_t i = 0; i < ucode_.size(); ++i) {
             UcodeSlot &slot = ucode_[i];
             const bool drop = config_.collapseEnabled &&
@@ -863,6 +867,8 @@ class StaticAutomaton
                 continue;
             if (slot.needsLoop && !slot.loopVerified)
                 raiseAbort(AbortReason::VectorOutsideLoop, index);
+            if (slot.loopVerified)
+                ++loop_out;
             new_index[i] = static_cast<int>(out);
             ++out;
         }
@@ -886,6 +892,7 @@ class StaticAutomaton
         }
 
         committedUcode_ = out;
+        committedLoopUcode_ = loop_out;
         committedCvecs_ = static_cast<unsigned>(cvecs_.size());
     }
 
@@ -913,7 +920,9 @@ class StaticAutomaton
     unsigned loopsVerified_ = 0;
 
     unsigned committedUcode_ = 0;
+    unsigned committedLoopUcode_ = 0;
     unsigned committedCvecs_ = 0;
+    unsigned itersTotal_ = 0;
 };
 
 } // namespace
@@ -956,6 +965,8 @@ analyzeRegion(const Program &prog, int entry_index,
                 out.ucodeInsts = automaton.committedUcode();
                 out.cvecs = automaton.committedCvecs();
                 out.loopsVerified = automaton.loopsVerified();
+                out.ucodeLoopInsts = automaton.committedLoopUcode();
+                out.loopIters = automaton.itersTotal();
                 break;
             }
 

@@ -44,6 +44,8 @@ struct StaticOutcome
     unsigned ucodeInsts = 0;  ///< microcode size after collapse
     unsigned cvecs = 0;       ///< constant vectors interned
     unsigned loopsVerified = 0;
+    unsigned ucodeLoopInsts = 0;  ///< collapsed slots inside loop bodies
+    unsigned loopIters = 0;       ///< scalar iterations across all loops
 
     unsigned analyzedInsts = 0;   ///< abstract retires observed
     std::vector<int> visited;     ///< distinct instruction indices walked

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <sstream>
 
+#include "translator/cost_model.hh"
 #include "verifier/cfg.hh"
+#include "verifier/depcheck.hh"
 #include "verifier/rules.hh"
 
 namespace liquid
@@ -76,17 +78,126 @@ verifyRegion(const Program &prog, int entry_index,
         return report;
     }
 
-    bool first_attempt = true;
+    // Memory-dependence analysis is width-independent (it resolves all
+    // candidate widths in one walk); run it lazily, at most once.
+    bool dep_ran = false;
+    auto depResult = [&]() -> const DepcheckResult & {
+        if (!dep_ran) {
+            report.dep = analyzeDeps(prog, entry_index, cfg, opts.dep);
+            report.depAnalyzed = true;
+            dep_ran = true;
+        }
+        return report.dep;
+    };
+
+    // The headline verdict is the first non-Ok outcome on the fallback
+    // cascade (what a translateOffline() call at full width reports) —
+    // unless a narrower width later proves Ok, which overrides it: the
+    // dynamic translator retries width-dependent failures and ends up
+    // committed, so the region's fate is Ok.
+    bool headline_set = false;
+    auto headline = [&](Severity sev, AbortReason reason) {
+        if (headline_set)
+            return;
+        headline_set = true;
+        report.verdict = sev;
+        report.reason = reason;
+    };
+
+    // Width-independent Warn conditions recur at every fallback width;
+    // report each condition once.
+    auto warnOnce = [&](int inst_index, std::string message) {
+        for (const Diagnostic &d : report.diags) {
+            if (d.severity == Severity::Warn && d.message == message)
+                return;
+        }
+        Diagnostic d;
+        d.severity = Severity::Warn;
+        d.instIndex = inst_index;
+        d.message = std::move(message);
+        report.diags.push_back(std::move(d));
+    };
+
     for (; bind >= 2; bind /= 2) {
         const StaticOutcome outcome =
             analyzeRegion(prog, entry_index, opts.config, bind);
         report.analyzedInsts = outcome.analyzedInsts;
 
         if (outcome.verdict == Severity::Ok) {
+            const DepcheckResult &dep = depResult();
+            const WidthVerdict &wv = dep.verdictAt(bind);
+
+            if (wv.kind == WidthVerdict::Kind::Unsafe) {
+                // The translator's runtime dependence check misses
+                // this pair: it commits at this width and the vector
+                // groups execute the pair in the wrong order. The
+                // cascade dynamically stops here, so this is the
+                // region's fate regardless of any earlier headline.
+                headline_set = true;
+                report.verdict = Severity::Error;
+                report.reason = AbortReason::MemoryDependence;
+                report.depMiscompile = true;
+                report.predictedWidth = bind;
+                report.predictedUcode = outcome.ucodeInsts;
+                report.predictedCvecs = outcome.cvecs;
+                Diagnostic d;
+                d.severity = Severity::Error;
+                d.reason = AbortReason::MemoryDependence;
+                d.instIndex = wv.pair.storeIndex;
+                std::ostringstream os;
+                os << "silent miscompile at width " << bind
+                   << ": the store at inst " << wv.pair.storeIndex
+                   << " and the "
+                   << (wv.pair.otherIsStore ? "store" : "load")
+                   << " at inst " << wv.pair.otherIndex
+                   << " touch address 0x" << std::hex << wv.pair.addr
+                   << std::dec << " at carried distance "
+                   << wv.pair.distance << " < " << bind
+                   << " with textual order opposite iteration order; "
+                   << "the dynamic dependence check cannot see this "
+                   << "pair, so translation commits anyway";
+                d.message = os.str();
+                report.diags.push_back(std::move(d));
+                return report;
+            }
+
+            if (wv.kind == WidthVerdict::Kind::Unknown) {
+                headline(Severity::Warn, AbortReason::None);
+                std::ostringstream os;
+                os << "memoryDependence";
+                if (dep.resolved) {
+                    // Budget exhaustion is genuinely per-width.
+                    os << " at width " << bind << ": " << wv.why;
+                } else {
+                    os << ": " << dep.unresolvedWhy;
+                }
+                warnOnce(dep.unresolvedIndex, os.str());
+                if (!opts.widthFallback)
+                    return report;
+                continue;
+            }
+
+            // Depcheck proves SIMD at this width preserves scalar
+            // memory semantics: the commit is safe. Ok overrides any
+            // earlier Warn/Error headline.
+            headline_set = true;
             report.verdict = Severity::Ok;
+            report.reason = AbortReason::None;
             report.predictedWidth = bind;
             report.predictedUcode = outcome.ucodeInsts;
             report.predictedCvecs = outcome.cvecs;
+
+            RegionCostInputs ci;
+            ci.scalarInsts = outcome.analyzedInsts;
+            ci.ucodeInsts = outcome.ucodeInsts;
+            ci.ucodeLoopInsts = outcome.ucodeLoopInsts;
+            ci.loopIters = outcome.loopIters;
+            ci.width = bind;
+            const RegionCostEstimate cost = estimateRegionCost(ci);
+            report.predictedScalarCycles = cost.scalarCycles;
+            report.predictedSimdCycles = cost.simdCycles;
+            report.predictedSpeedup = cost.speedup;
+
             Diagnostic d;
             d.severity = Severity::Ok;
             d.instIndex = entry_index;
@@ -101,23 +212,18 @@ verifyRegion(const Program &prog, int entry_index,
         }
 
         if (outcome.verdict == Severity::Warn) {
-            report.verdict = Severity::Warn;
-            Diagnostic d;
-            d.severity = Severity::Warn;
-            d.instIndex = outcome.reasonIndex;
-            d.message = outcome.warnCondition;
-            report.diags.push_back(std::move(d));
-            return report;
+            headline(Severity::Warn, AbortReason::None);
+            // The mirror cannot predict this width's outcome, but a
+            // narrower width may still be certifiable; keep walking so
+            // a later-width Ok can claim the region.
+            warnOnce(outcome.reasonIndex, outcome.warnCondition);
+            if (!opts.widthFallback)
+                return report;
+            continue;
         }
 
         // Error at this width.
-        if (first_attempt) {
-            // The widest attempt's reason is the headline: it is what
-            // a single translateOffline() call at full width reports.
-            report.verdict = Severity::Error;
-            report.reason = outcome.reason;
-            first_attempt = false;
-        }
+        headline(Severity::Error, outcome.reason);
         Diagnostic d;
         d.severity = Severity::Error;
         d.reason = outcome.reason;
@@ -129,6 +235,26 @@ verifyRegion(const Program &prog, int entry_index,
            << " check)";
         d.message = os.str();
         report.diags.push_back(std::move(d));
+
+        if (outcome.reason == AbortReason::MemoryDependence) {
+            // The runtime interval test is conservative: note when the
+            // distance analysis proves the overlap harmless. The
+            // verdict stays Error — the hardware will still abort.
+            const DepcheckResult &dep = depResult();
+            if (dep.resolved &&
+                dep.verdictAt(bind).kind == WidthVerdict::Kind::Safe) {
+                Diagnostic note;
+                note.severity = Severity::Ok;
+                note.instIndex = outcome.reasonIndex;
+                std::ostringstream ns;
+                ns << "conservative abort: depcheck proves the "
+                   << "overlapping streams safe at width " << bind
+                   << " (" << dep.proofSummary(bind)
+                   << "), but the translator's interval test cannot";
+                note.message = ns.str();
+                report.diags.push_back(std::move(note));
+            }
+        }
 
         if (!opts.widthFallback ||
             !abortIsWidthDependent(outcome.reason))

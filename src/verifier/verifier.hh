@@ -16,6 +16,7 @@
 
 #include "asm/program.hh"
 #include "translator/translator.hh"
+#include "verifier/depcheck.hh"
 #include "verifier/diagnostics.hh"
 
 namespace liquid
@@ -32,6 +33,12 @@ struct VerifyOptions
      * concluding. Disable to predict a single translateOffline() call.
      */
     bool widthFallback = true;
+    /**
+     * Memory-dependence analysis limits (see depcheck.hh). The pair
+     * budget is spent in ascending width order, so shrinking it
+     * degrades wide widths to Warn before narrow ones.
+     */
+    DepcheckOptions dep;
 };
 
 /**

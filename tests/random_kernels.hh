@@ -157,7 +157,8 @@ inline Program
 buildGeneratedProgram(const GeneratedKernel &g, Rng &data_rng,
                       EmitOptions::Mode mode, unsigned width,
                       EmitOptions::Sabotage sabotage =
-                          EmitOptions::Sabotage::None)
+                          EmitOptions::Sabotage::None,
+                      unsigned sabotage_distance = 1)
 {
     Program prog;
     const unsigned n = g.kernel.tripCount() + 16;
@@ -189,6 +190,7 @@ buildGeneratedProgram(const GeneratedKernel &g, Rng &data_rng,
         opts.mode = mode;
         opts.nativeWidth = width;
         opts.sabotage = sabotage;
+        opts.sabotageDistance = sabotage_distance;
         r = emitKernel(prog, g.kernel, opts);
         prog.defineLabel("main");
         for (int call = 0; call < 3; ++call) {

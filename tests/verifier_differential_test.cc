@@ -55,6 +55,17 @@ checkRegion(const Program &prog, int entry, unsigned width,
         break;
       case Severity::Error:
         ++tally.error;
+        if (r.depMiscompile) {
+            // The one Error that predicts a COMMIT: the dynamic
+            // dependence check cannot see the pair depcheck found, so
+            // translation goes through and the committed microcode
+            // diverges (the oracle test proves the divergence).
+            ASSERT_TRUE(off.ok)
+                << "depMiscompile predicts a commit but dynamic "
+                << "aborted with " << off.abortReason;
+            EXPECT_EQ(r.reason, AbortReason::MemoryDependence);
+            break;
+        }
         ASSERT_FALSE(off.ok) << "static Error (" <<
             abortReasonName(r.reason) << ") but dynamic committed";
         EXPECT_EQ(abortReasonClass(r.reason),
@@ -159,6 +170,10 @@ TEST(VerifierDifferential, SabotagedKernelsAbortIdentically)
         {Sabotage::ForwardBranch, AbortReason::ForwardBranch},
         {Sabotage::IvArithmetic, AbortReason::IvArithmetic},
         {Sabotage::ScalarStore, AbortReason::StoreScalarData},
+        // Load-then-store into one array: the translator's interval
+        // test fires, and the mirror predicts the same abort.
+        {Sabotage::OverlapStoreAfterLoad,
+         AbortReason::MemoryDependence},
     };
 
     Rng rng(5150);
@@ -183,6 +198,39 @@ TEST(VerifierDifferential, SabotagedKernelsAbortIdentically)
                 translateOffline(prog, entry, 8, g.kernel.maxWidth());
             EXPECT_FALSE(off.ok);
             EXPECT_EQ(off.reason, t.reason);
+        }
+    }
+}
+
+TEST(VerifierDifferential, SilentMiscompilesCommitOnBothSides)
+{
+    // Overlap shapes the translator's interval test cannot see: the
+    // dynamic side commits, and the verifier must call the commit out
+    // as a dependence miscompile rather than predicting an abort.
+    using Sabotage = EmitOptions::Sabotage;
+    Rng rng(6160);
+    for (unsigned trial = 0; trial < 4; ++trial) {
+        const GeneratedKernel g = generateKernel(rng, trial);
+        for (const Sabotage kind : {Sabotage::OverlapStoreStore,
+                                    Sabotage::OverlapLoadAhead}) {
+            SCOPED_TRACE("trial=" + std::to_string(trial) + " kind=" +
+                         std::to_string(static_cast<int>(kind)));
+            Rng d(trial * 7 + 1);
+            const Program prog = buildGeneratedProgram(
+                g, d, EmitOptions::Mode::Scalarized, 8, kind, 1);
+            const int entry = prog.labelIndex(g.kernel.name());
+
+            VerifyOptions opts;
+            opts.widthFallback = false;
+            const RegionReport r =
+                verifyRegion(prog, entry, opts, g.kernel.maxWidth());
+            EXPECT_EQ(r.verdict, Severity::Error);
+            EXPECT_EQ(r.reason, AbortReason::MemoryDependence);
+            EXPECT_TRUE(r.depMiscompile);
+
+            const OfflineResult off =
+                translateOffline(prog, entry, 8, g.kernel.maxWidth());
+            EXPECT_TRUE(off.ok) << off.abortReason;
         }
     }
 }

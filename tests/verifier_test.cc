@@ -189,6 +189,80 @@ TEST(Verifier, ProgramReportCoversEveryHintedRegion)
         formatRegionReport(report.regions[0]).empty());
 }
 
+const char *copyLoop32 = R"(
+    .words src32 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20 21 22 23 24 25 26 27 28 29 30 31 32
+    .data dst32 128
+    fn:
+        mov r0, #0
+    top:
+        ldw r1, [src32 + r0]
+        add r1, r1, #100
+        stw [dst32 + r0], r1
+        add r0, r0, #1
+        cmp r0, #32
+        blt top
+        ret
+    main:
+        bl.simd fn
+        halt
+)";
+
+TEST(Verifier, WarnThenNarrowerOkReportsTheOkBinding)
+{
+    // Regression for the width-fallback Warn plumbing: a Warn on the
+    // wide attempt must not hide a narrower width the verifier can
+    // certify. Depcheck spends its pair budget in ascending width
+    // order, so a budget that covers widths 2-8 but not 16 yields a
+    // genuine width-dependent Warn at 16 and a proof at 8.
+    const Program prog = assemble(copyLoop32);
+    VerifyOptions opts;
+    opts.config.simdWidth = 16;
+    opts.widthFallback = true;
+    opts.dep.pairBudget = 900;
+
+    const RegionReport r =
+        verifyRegion(prog, prog.labelIndex("fn"), opts);
+    EXPECT_EQ(r.verdict, Severity::Ok);
+    EXPECT_EQ(r.reason, AbortReason::None);
+    EXPECT_EQ(r.predictedWidth, 8u);
+    ASSERT_TRUE(r.depAnalyzed);
+    EXPECT_EQ(r.dep.verdictAt(16).kind, WidthVerdict::Kind::Unknown);
+    EXPECT_EQ(r.dep.verdictAt(8).kind, WidthVerdict::Kind::Safe);
+
+    // The Warn trail survives in the diagnostics.
+    bool warned = false;
+    for (const Diagnostic &d : r.diags) {
+        if (d.severity == Severity::Warn &&
+            d.message.find("memoryDependence") != std::string::npos)
+            warned = true;
+    }
+    EXPECT_TRUE(warned);
+
+    // Without fallback the wide attempt's Warn is the verdict: the
+    // single-translation prediction really is unknown.
+    opts.widthFallback = false;
+    const RegionReport single =
+        verifyRegion(prog, prog.labelIndex("fn"), opts);
+    EXPECT_EQ(single.verdict, Severity::Warn);
+    EXPECT_EQ(single.predictedWidth, 0u);
+}
+
+TEST(Verifier, OkCarriesCostEstimate)
+{
+    const Program prog = assemble(copyLoop);
+    VerifyOptions opts;
+    opts.config.simdWidth = 8;
+    const RegionReport r =
+        verifyRegion(prog, prog.labelIndex("fn"), opts);
+    ASSERT_EQ(r.verdict, Severity::Ok);
+    EXPECT_GT(r.predictedScalarCycles, 0.0);
+    EXPECT_GT(r.predictedSimdCycles, 0.0);
+    // 16 iterations of a vectorizable loop at width 8 must predict a
+    // speedup strictly between 1x and the lane count.
+    EXPECT_GT(r.predictedSpeedup, 1.0);
+    EXPECT_LE(r.predictedSpeedup, 8.0);
+}
+
 TEST(Verifier, SabotagedKernelsPredicted)
 {
     using Sabotage = EmitOptions::Sabotage;

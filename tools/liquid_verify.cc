@@ -4,22 +4,28 @@
  *
  * Assembles a .s file and, without executing it on the simulator,
  * predicts what the dynamic translator will do with every outlined
- * region: commit (with the bound width and microcode size), abort
- * (with the reason), or a runtime-dependent outcome (warn).
+ * region: commit (with the bound width, microcode size, and a
+ * cost-model cycle estimate), abort (with the reason), or a
+ * runtime-dependent outcome (warn). Commits additionally carry the
+ * memory-dependence proof computed by depcheck.
  *
  *   liquid-verify prog.s                # verify at width 8
  *   liquid-verify -w 16 prog.s          # verify against 16 lanes
  *   liquid-verify --no-fallback prog.s  # single-width prediction
  *   liquid-verify --suite               # verify the workload suite
+ *   liquid-verify --json prog.s         # machine-readable verdicts
  *
  * Exit status: 0 when no region has an Error verdict, 1 otherwise,
  * 2 on usage/assembly problems.
  */
 
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "asm/assembler.hh"
 #include "verifier/verifier.hh"
@@ -37,6 +43,7 @@ struct Options
     bool fallback = true;
     bool werror = false;
     bool suite = false;
+    bool json = false;
 };
 
 void
@@ -48,6 +55,8 @@ usage()
         "  -w, --width N    SIMD lanes to verify against: 2/4/8/16 (8)\n"
         "  --no-fallback    do not retry failed regions at half width\n"
         "  --werror         treat warn verdicts as errors\n"
+        "  --json           machine-readable per-region verdicts on"
+        " stdout\n"
         "  --suite          verify every workload-suite kernel instead"
         " of a file\n";
 }
@@ -69,6 +78,8 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.suite = true;
         } else if (arg == "--werror") {
             opt.werror = true;
+        } else if (arg == "--json") {
+            opt.json = true;
         } else if (arg == "-h" || arg == "--help") {
             usage();
             std::exit(0);
@@ -93,25 +104,134 @@ parseArgs(int argc, char **argv, Options &opt)
     return true;
 }
 
-/** Tally one program's report; returns false on an Error verdict. */
-bool
-report(const Program &prog, const Options &opt, unsigned &ok,
-       unsigned &warn, unsigned &error)
+std::string
+jsonEscape(const std::string &s)
+{
+    std::ostringstream os;
+    for (const char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                os << "\\u" << std::hex << std::setw(4)
+                   << std::setfill('0') << static_cast<int>(c)
+                   << std::dec;
+            } else {
+                os << c;
+            }
+        }
+    }
+    return os.str();
+}
+
+const char *
+widthVerdictName(WidthVerdict::Kind kind)
+{
+    switch (kind) {
+      case WidthVerdict::Kind::Safe: return "safe";
+      case WidthVerdict::Kind::Unsafe: return "unsafe";
+      case WidthVerdict::Kind::Unknown: return "unknown";
+    }
+    return "?";
+}
+
+void
+jsonRegion(std::ostream &os, const std::string &program,
+           const RegionReport &r)
+{
+    os << "    {\n"
+       << "      \"program\": \"" << jsonEscape(program) << "\",\n"
+       << "      \"entryLabel\": \"" << jsonEscape(r.entryLabel)
+       << "\",\n"
+       << "      \"entryIndex\": " << r.entryIndex << ",\n"
+       << "      \"requestedWidth\": " << r.requestedWidth << ",\n"
+       << "      \"widthHint\": " << r.widthHint << ",\n"
+       << "      \"verdict\": \"" << severityName(r.verdict) << "\"";
+    if (r.verdict == Severity::Error) {
+        os << ",\n      \"reason\": \"" << abortReasonName(r.reason)
+           << "\",\n      \"depMiscompile\": "
+           << (r.depMiscompile ? "true" : "false");
+    }
+    if (r.predictedWidth) {
+        os << ",\n      \"predicted\": {\"width\": " << r.predictedWidth
+           << ", \"ucodeInsts\": " << r.predictedUcode
+           << ", \"cvecs\": " << r.predictedCvecs << "}";
+    }
+    if (r.verdict == Severity::Ok && r.predictedSpeedup > 0) {
+        os << ",\n      \"cost\": {\"scalarCycles\": "
+           << r.predictedScalarCycles << ", \"simdCycles\": "
+           << r.predictedSimdCycles << ", \"speedup\": "
+           << r.predictedSpeedup << "}";
+    }
+    if (r.depAnalyzed) {
+        const DepcheckResult &dep = r.dep;
+        os << ",\n      \"dep\": {\n"
+           << "        \"analyzed\": "
+           << (dep.analyzed ? "true" : "false")
+           << ", \"resolved\": " << (dep.resolved ? "true" : "false");
+        if (!dep.resolved) {
+            os << ",\n        \"unresolvedWhy\": \""
+               << jsonEscape(dep.unresolvedWhy) << "\"";
+        }
+        os << ",\n        \"carriedPairs\": " << dep.carriedPairs
+           << ", \"minDistance\": " << dep.minDistance << ",\n"
+           << "        \"accesses\": [";
+        for (std::size_t i = 0; i < dep.accesses.size(); ++i) {
+            const MemAccess &a = dep.accesses[i];
+            os << (i ? ", " : "") << "{\"inst\": " << a.instIndex
+               << ", \"store\": " << (a.isStore ? "true" : "false")
+               << ", \"class\": \"" << accessClassName(a.cls)
+               << "\", \"strideBytes\": " << a.strideBytes
+               << ", \"array\": \"" << jsonEscape(a.arrayName)
+               << "\"}";
+        }
+        os << "],\n        \"byWidth\": {";
+        for (std::size_t i = 0; i < DepcheckResult::widths.size();
+             ++i) {
+            const WidthVerdict &wv = dep.byWidth[i];
+            os << (i ? ", " : "") << "\""
+               << DepcheckResult::widths[i] << "\": \""
+               << widthVerdictName(wv.kind) << "\"";
+        }
+        os << "}";
+        if (r.verdict == Severity::Ok && r.predictedWidth) {
+            os << ",\n        \"proof\": \""
+               << jsonEscape(dep.proofSummary(r.predictedWidth))
+               << "\"";
+        }
+        os << "\n      }";
+    }
+    os << ",\n      \"diags\": [\n";
+    for (std::size_t i = 0; i < r.diags.size(); ++i) {
+        const Diagnostic &d = r.diags[i];
+        os << "        {\"severity\": \"" << severityName(d.severity)
+           << "\"";
+        if (d.severity == Severity::Error)
+            os << ", \"reason\": \"" << abortReasonName(d.reason)
+               << "\"";
+        if (d.instIndex >= 0)
+            os << ", \"inst\": " << d.instIndex;
+        os << ", \"message\": \"" << jsonEscape(d.message) << "\"}"
+           << (i + 1 < r.diags.size() ? "," : "") << '\n';
+    }
+    os << "      ]\n    }";
+}
+
+/** Verify one program, appending its regions to the tallies. */
+void
+report(const Program &prog, const std::string &name, const Options &opt,
+       std::vector<std::pair<std::string, RegionReport>> &regions)
 {
     VerifyOptions vopts;
     vopts.config.simdWidth = opt.width;
     vopts.widthFallback = opt.fallback;
 
-    const ProgramReport rep = verifyProgram(prog, vopts);
-    for (const RegionReport &r : rep.regions) {
-        std::cout << formatRegionReport(r);
-        switch (r.verdict) {
-          case Severity::Ok: ++ok; break;
-          case Severity::Warn: ++warn; break;
-          case Severity::Error: ++error; break;
-        }
-    }
-    return !rep.regions.empty();
+    ProgramReport rep = verifyProgram(prog, vopts);
+    for (RegionReport &r : rep.regions)
+        regions.emplace_back(name, std::move(r));
 }
 
 } // namespace
@@ -123,14 +243,13 @@ main(int argc, char **argv)
     if (!parseArgs(argc, argv, opt))
         return 2;
 
-    unsigned ok = 0, warn = 0, error = 0;
+    std::vector<std::pair<std::string, RegionReport>> regions;
     try {
         if (opt.suite) {
             for (const auto &wl : makeSuite()) {
-                std::cout << "== " << wl->name() << '\n';
                 const Workload::Build build = wl->build(
                     EmitOptions::Mode::Scalarized, opt.width, true);
-                report(build.prog, opt, ok, warn, error);
+                report(build.prog, wl->name(), opt, regions);
             }
         } else {
             std::ifstream in(opt.file);
@@ -141,15 +260,46 @@ main(int argc, char **argv)
             std::ostringstream source;
             source << in.rdbuf();
             const Program prog = assemble(source.str());
-            if (!report(prog, opt, ok, warn, error)) {
+            report(prog, opt.file, opt, regions);
+            if (regions.empty() && !opt.json) {
                 std::cout << "no hinted regions found\n";
                 return 0;
             }
         }
 
-        std::cout << ok + warn + error << " region(s): " << ok
-                  << " ok, " << warn << " warn, " << error
-                  << " error\n";
+        unsigned ok = 0, warn = 0, error = 0;
+        for (const auto &[name, r] : regions) {
+            switch (r.verdict) {
+              case Severity::Ok: ++ok; break;
+              case Severity::Warn: ++warn; break;
+              case Severity::Error: ++error; break;
+            }
+        }
+
+        if (opt.json) {
+            std::cout << "{\n  \"regions\": [\n";
+            for (std::size_t i = 0; i < regions.size(); ++i) {
+                jsonRegion(std::cout, regions[i].first,
+                           regions[i].second);
+                std::cout << (i + 1 < regions.size() ? "," : "")
+                          << '\n';
+            }
+            std::cout << "  ],\n  \"summary\": {\"ok\": " << ok
+                      << ", \"warn\": " << warn << ", \"error\": "
+                      << error << "}\n}\n";
+        } else {
+            std::string last_program;
+            for (const auto &[name, r] : regions) {
+                if (opt.suite && name != last_program) {
+                    std::cout << "== " << name << '\n';
+                    last_program = name;
+                }
+                std::cout << formatRegionReport(r);
+            }
+            std::cout << ok + warn + error << " region(s): " << ok
+                      << " ok, " << warn << " warn, " << error
+                      << " error\n";
+        }
         if (error || (opt.werror && warn))
             return 1;
     } catch (const FatalError &e) {
