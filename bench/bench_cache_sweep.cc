@@ -2,59 +2,33 @@
  * @file
  * Ablation: data-cache size vs Liquid SIMD speedup. The paper
  * attributes 179.art's low speedup to cache misses in its hot loops;
- * this sweep shows the mechanism directly: as the cache shrinks every
- * benchmark converges toward memory-bound behaviour where vectors
- * cannot help, and as it grows 179.art recovers toward the compute
- * speedups of its peers.
+ * as the cache shrinks every benchmark converges toward memory-bound
+ * behaviour where vectors cannot help, and as it grows 179.art
+ * recovers toward the compute speedups of its peers.
+ *
+ * Ported onto the lab subsystem: declarative "cache" campaign, sharded
+ * by the lab Runner, rendered from the structured results (same data
+ * as `liquid-lab run`'s BENCH_cache.json).
  */
 
+#include <cstdlib>
 #include <iostream>
 
-#include "bench/bench_util.hh"
+#include "lab/experiments.hh"
+#include "lab/runner.hh"
 
 using namespace liquid;
-using namespace liquid::bench;
+using namespace liquid::lab;
 
 int
 main()
 {
-    std::cout << "=== Ablation: Liquid speedup (W=8) vs data cache "
-                 "size ===\n\n";
+    const char *env = std::getenv("LIQUID_LAB_JOBS");
+    const unsigned jobs =
+        env ? static_cast<unsigned>(std::strtoul(env, nullptr, 10)) : 0;
 
-    const std::size_t sizes[] = {4 * 1024, 16 * 1024, 64 * 1024,
-                                 256 * 1024};
-
-    Table t({{"benchmark", -14}, {"4KB", 8}, {"16KB", 8}, {"64KB", 8},
-             {"256KB", 8}});
-    t.header(std::cout);
-
-    for (const auto &wl : makeSuite()) {
-        std::vector<std::string> cells;
-        for (const std::size_t bytes : sizes) {
-            auto cacheCfg = [&](SystemConfig c) {
-                c.core.dcache.sizeBytes = bytes;
-                c.core.dcache.assoc = 64;
-                return c;
-            };
-            const auto build = wl->build(EmitOptions::Mode::Scalarized);
-            const auto inl = wl->build(EmitOptions::Mode::InlineScalar);
-            System base(
-                cacheCfg(SystemConfig::make(ExecMode::ScalarBaseline)),
-                inl.prog);
-            base.run();
-            System liquid(
-                cacheCfg(SystemConfig::make(ExecMode::Liquid, 8)),
-                build.prog);
-            liquid.run();
-            cells.push_back(fmt(static_cast<double>(base.cycles()) /
-                                static_cast<double>(liquid.cycles())));
-        }
-        t.row(std::cout, wl->name(), cells[0], cells[1], cells[2],
-              cells[3]);
-    }
-
-    std::cout << "\n179.art's speedup tracks cache size (the paper's "
-                 "explanation for its last place); compute-bound "
-                 "benchmarks like fir barely move.\n";
-    return 0;
+    const Campaign campaign = campaignByName("cache", /*smoke=*/false);
+    const ResultSet results =
+        Runner(jobs).run(campaign.matrix.expand());
+    return renderCacheSweep(std::cout, results) ? 0 : 1;
 }

@@ -2,142 +2,35 @@
  * @file
  * Reproduces paper Figure 6: speedup of one Liquid SIMD binary per
  * benchmark on accelerators of width 2/4/8/16, relative to a scalar
- * processor without SIMD and without outlining. Also reproduces the
- * figure's callout: the delta between native-ISA SIMD and Liquid SIMD
- * (the virtualization overhead), which the paper measured at ~1e-3
- * speedup on FIR, its worst case.
+ * processor without SIMD and without outlining, plus the figure's
+ * virtualization-overhead callout.
  *
- * Expected shape (paper Section 5): FIR highest (hot loop ~94% of
- * runtime); 179.art lowest (cache misses dominate); the MPEG2 codecs
- * flat from width 8 to 16 (8-element loops); wider accelerators
- * otherwise monotonically better.
+ * Ported onto the lab subsystem: the sweep is the declarative "fig6"
+ * campaign (see src/lab/experiments.cc), sharded across worker threads
+ * by the lab Runner, and the table below is rendered from the same
+ * structured results that `liquid-lab run` writes to BENCH_fig6.json.
+ * Set LIQUID_LAB_JOBS to override the worker count.
  */
 
+#include <cstdlib>
 #include <iostream>
 
-#include "bench/bench_util.hh"
+#include "lab/experiments.hh"
+#include "lab/runner.hh"
 
 using namespace liquid;
-using namespace liquid::bench;
+using namespace liquid::lab;
 
 int
 main()
 {
-    std::cout << "=== Figure 6: speedup vs scalar baseline (one Liquid "
-                 "binary per benchmark) ===\n\n";
+    const char *env = std::getenv("LIQUID_LAB_JOBS");
+    const unsigned jobs =
+        env ? static_cast<unsigned>(std::strtoul(env, nullptr, 10)) : 0;
 
-    Table t({{"benchmark", -14}, {"W=2", 8}, {"W=4", 8}, {"W=8", 8},
-             {"W=16", 8}, {"ideal8", 9}, {"overhead", 10}});
-    t.header(std::cout);
-
-    double best_speedup = 0;
-    std::string best_name;
-    double worst_speedup = 1e9;
-    std::string worst_name;
-    double m2d_w8 = 0, m2d_w16 = 0;
-    double max_overhead = 0;
-
-    for (const auto &wl : makeSuite()) {
-        const Cycles base = baselineCycles(*wl);
-        const auto build = wl->build(EmitOptions::Mode::Scalarized);
-
-        std::vector<std::string> cells;
-        double w8 = 0, w16 = 0;
-        for (unsigned width : {2u, 4u, 8u, 16u}) {
-            const auto out = runOnce(
-                build, SystemConfig::make(ExecMode::Liquid, width));
-            const double speedup = static_cast<double>(base) /
-                                   static_cast<double>(out.cycles);
-            cells.push_back(fmt(speedup));
-            if (width == 8)
-                w8 = speedup;
-            if (width == 16)
-                w16 = speedup;
-        }
-
-        // The figure's callout: the same binary with built-in ISA
-        // support, i.e. the outlined regions execute as SIMD from the
-        // very first call (the paper modified its simulator to
-        // "eliminate control generation"). We reproduce that by
-        // warm-starting the microcode cache from a prior run.
-        const SystemConfig liquid8 =
-            SystemConfig::make(ExecMode::Liquid, 8);
-        System warmup(liquid8, build.prog);
-        warmup.run();
-        System ideal(liquid8, build.prog);
-        ideal.ucodeCache().warmStartFrom(warmup.ucodeCache());
-        ideal.run();
-        const double ideal8 = static_cast<double>(base) /
-                              static_cast<double>(ideal.cycles());
-        const double delta = ideal8 - w8;
-        max_overhead = std::max(max_overhead, delta);
-
-        t.row(std::cout, wl->name(), cells[0], cells[1], cells[2],
-              cells[3], fmt(ideal8), fmt(delta, 4));
-
-        if (w16 > best_speedup) {
-            best_speedup = w16;
-            best_name = wl->name();
-        }
-        if (w16 < worst_speedup) {
-            worst_speedup = w16;
-            worst_name = wl->name();
-        }
-        if (wl->name() == "mpeg2dec") {
-            m2d_w8 = w8;
-            m2d_w16 = w16;
-        }
-    }
-
-    std::cout << "\nShape checks vs the paper:\n"
-              << "  highest speedup: " << best_name
-              << " (paper: fir)  -> "
-              << (best_name == "fir" ? "match" : "MISMATCH") << '\n'
-              << "  lowest speedup:  " << worst_name
-              << " (paper: 179.art) -> "
-              << (worst_name == "179.art" ? "match" : "MISMATCH") << '\n'
-              << "  mpeg2dec flat 8->16 (paper: 8-element loops): "
-              << fmt(m2d_w8) << " -> " << fmt(m2d_w16) << "  "
-              << (m2d_w16 <= m2d_w8 * 1.05 ? "match" : "MISMATCH")
-              << '\n'
-              << "  per-run overhead columns above are bounded by "
-                 "first-call amortization at our small rep counts\n";
-
-    // The callout proper: the virtualization overhead is the one-time
-    // scalar execution + translation of each region, so it vanishes as
-    // the hot loop is called more often. The paper amortized over full
-    // SPEC/MediaBench runs (~1e-3 on FIR, its worst case); we sweep
-    // the call count and watch the overhead decay toward that.
-    std::cout << "\n=== Callout: virtualization overhead vs hot-loop "
-                 "call count (fir) ===\n\n";
-    Table a({{"calls", 8}, {"liquid", 10}, {"ideal", 10},
-             {"overhead", 10}});
-    a.header(std::cout);
-    for (unsigned reps : {24u, 128u, 512u, 2048u}) {
-        std::unique_ptr<Workload> fir;
-        for (auto &wl : makeSuite()) {
-            if (wl->name() == "fir")
-                fir = std::move(wl);
-        }
-        fir->setReps(reps);
-        const Cycles base = baselineCycles(*fir);
-        const auto build = fir->build(EmitOptions::Mode::Scalarized);
-        const SystemConfig liquid8 =
-            SystemConfig::make(ExecMode::Liquid, 8);
-        System liquid(liquid8, build.prog);
-        liquid.run();
-        System warm(liquid8, build.prog);
-        warm.ucodeCache().warmStartFrom(liquid.ucodeCache());
-        warm.run();
-        const double s_liquid = static_cast<double>(base) /
-                                static_cast<double>(liquid.cycles());
-        const double s_ideal = static_cast<double>(base) /
-                               static_cast<double>(warm.cycles());
-        a.row(std::cout, reps, fmt(s_liquid, 3), fmt(s_ideal, 3),
-              fmt(s_ideal - s_liquid, 4));
-    }
-    std::cout << "\n(overhead ~ 1/calls; the paper's full-application "
-                 "run corresponds to the bottom of this sweep)\n";
-    (void)max_overhead;
+    const Campaign campaign = campaignByName("fig6", /*smoke=*/false);
+    const ResultSet results =
+        Runner(jobs).run(campaign.matrix.expand());
+    renderFig6(std::cout, results);
     return 0;
 }

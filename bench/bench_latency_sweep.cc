@@ -1,63 +1,35 @@
 /**
  * @file
  * Ablation supporting the paper's claim (Sections 4/5) that
- * post-retirement translation is far off the critical path: dynamic
- * translation "could have taken tens of cycles per scalar instruction
- * without affecting performance", because hundreds/thousands of cycles
- * pass before an outlined loop's second call (Table 6). Sweeps the
+ * post-retirement translation is far off the critical path: sweeps the
  * translation cost per observed instruction and reports suite cycles.
+ * The 1-cycle/instruction hardware design point must be within 0.5% of
+ * a free translator.
+ *
+ * Ported onto the lab subsystem: declarative "latency" campaign,
+ * sharded by the lab Runner, rendered from the structured results
+ * (same data as `liquid-lab run`'s BENCH_latency.json).
  */
 
+#include <cstdlib>
 #include <iostream>
 
-#include "bench/bench_util.hh"
+#include "lab/experiments.hh"
+#include "lab/runner.hh"
 
 using namespace liquid;
-using namespace liquid::bench;
+using namespace liquid::lab;
 
 int
 main()
 {
-    std::cout << "=== Ablation: translation latency per observed scalar "
-                 "instruction ===\n\n";
+    const char *env = std::getenv("LIQUID_LAB_JOBS");
+    const unsigned jobs =
+        env ? static_cast<unsigned>(std::strtoul(env, nullptr, 10)) : 0;
 
-    const Cycles latencies[] = {0, 1, 10, 50, 200};
-
-    Table t({{"benchmark", -14}, {"lat=0", 10}, {"lat=1", 10},
-             {"lat=10", 10}, {"lat=50", 10}, {"lat=200", 10}});
-    t.header(std::cout);
-
-    std::map<Cycles, double> total;
-    for (const auto &wl : makeSuite()) {
-        const auto build = wl->build(EmitOptions::Mode::Scalarized);
-        std::vector<std::string> cells;
-        for (Cycles lat : latencies) {
-            SystemConfig config =
-                SystemConfig::make(ExecMode::Liquid, 8);
-            config.translator.latencyPerInst = lat;
-            const auto out = runOnce(build, config);
-            cells.push_back(std::to_string(out.cycles));
-            total[lat] += static_cast<double>(out.cycles);
-        }
-        t.row(std::cout, wl->name(), cells[0], cells[1], cells[2],
-              cells[3], cells[4]);
-    }
-
-    std::cout << "\nSuite totals:\n";
-    for (Cycles lat : latencies) {
-        std::cout << "  " << lat << " cycles/inst: "
-                  << static_cast<Cycles>(total[lat]) << '\n';
-    }
-    // The paper's design point is a 1-cycle/instruction hardware
-    // translator: it keeps pace with retirement, so microcode is ready
-    // when the first execution returns and performance is identical to
-    // a free translator. Slower (JIT-like) translators degrade only
-    // through missed early calls, bounded by Table 6's call gaps.
-    const double at1 = 100.0 * (total[1] / total[0] - 1.0);
-    const double at10 = 100.0 * (total[10] / total[0] - 1.0);
-    std::cout << "\nSlowdown vs free translation: "
-              << fmt(at1, 3) << "% at 1 cycle/inst (paper's design: "
-              << "negligible), " << fmt(at10, 2)
-              << "% at 10 cycles/inst\n";
-    return at1 < 0.5 ? 0 : 1;
+    const Campaign campaign =
+        campaignByName("latency", /*smoke=*/false);
+    const ResultSet results =
+        Runner(jobs).run(campaign.matrix.expand());
+    return renderLatencySweep(std::cout, results) ? 0 : 1;
 }

@@ -2,54 +2,32 @@
  * @file
  * Ablation supporting the paper's microcode-cache sizing (Section 5,
  * "Dynamic Translation Requirements"): 8 entries of 64 instructions
- * capture the working set of every benchmark. Sweeps the entry count
- * and reports cycles and microcode hit behaviour; the suite-wide
- * total must flatten by 8 entries.
+ * capture the working set of every benchmark; the suite-wide total
+ * must flatten by 8 entries.
+ *
+ * Ported onto the lab subsystem: declarative "ucache" campaign,
+ * sharded by the lab Runner, rendered from the structured results
+ * (same data as `liquid-lab run`'s BENCH_ucache.json).
  */
 
+#include <cstdlib>
 #include <iostream>
 
-#include "bench/bench_util.hh"
+#include "lab/experiments.hh"
+#include "lab/runner.hh"
 
 using namespace liquid;
-using namespace liquid::bench;
+using namespace liquid::lab;
 
 int
 main()
 {
-    std::cout << "=== Ablation: microcode cache capacity (paper: 8 "
-                 "entries x 64 instructions = 2 KB) ===\n\n";
+    const char *env = std::getenv("LIQUID_LAB_JOBS");
+    const unsigned jobs =
+        env ? static_cast<unsigned>(std::strtoul(env, nullptr, 10)) : 0;
 
-    const unsigned sizes[] = {1, 2, 4, 8, 16};
-
-    Table t({{"benchmark", -14}, {"e=1", 10}, {"e=2", 10}, {"e=4", 10},
-             {"e=8", 10}, {"e=16", 10}});
-    t.header(std::cout);
-
-    std::map<unsigned, double> total;
-    for (const auto &wl : makeSuite()) {
-        const auto build = wl->build(EmitOptions::Mode::Scalarized);
-        std::vector<std::string> cells;
-        for (unsigned entries : sizes) {
-            SystemConfig config =
-                SystemConfig::make(ExecMode::Liquid, 8);
-            config.ucodeCache.entries = entries;
-            const auto out = runOnce(build, config);
-            cells.push_back(std::to_string(out.cycles));
-            total[entries] += static_cast<double>(out.cycles);
-        }
-        t.row(std::cout, wl->name(), cells[0], cells[1], cells[2],
-              cells[3], cells[4]);
-    }
-
-    std::cout << "\nSuite totals:\n";
-    for (unsigned entries : sizes) {
-        std::cout << "  " << entries << " entries: "
-                  << static_cast<Cycles>(total[entries]) << " cycles\n";
-    }
-    const bool captured =
-        total[8] <= total[16] * 1.001;  // no gain past 8 entries
-    std::cout << "\n8 entries capture the working set (no gain at 16): "
-              << (captured ? "yes" : "NO") << '\n';
-    return captured ? 0 : 1;
+    const Campaign campaign = campaignByName("ucache", /*smoke=*/false);
+    const ResultSet results =
+        Runner(jobs).run(campaign.matrix.expand());
+    return renderUcacheSweep(std::cout, results) ? 0 : 1;
 }

@@ -15,37 +15,29 @@
 #include <string>
 #include <vector>
 
+#include "lab/lab.hh"
 #include "sim/system.hh"
 #include "workloads/workload.hh"
 
 namespace liquid::bench
 {
 
-/** Outcome of one simulated run. */
-struct RunOutcome
-{
-    Cycles cycles = 0;
-    std::uint64_t translations = 0;
-    std::uint64_t aborts = 0;
-    std::uint64_t ucodeDispatches = 0;
-    std::map<Addr, std::vector<Cycles>> callLog;
-};
+/**
+ * Outcome of one simulated run. The lab subsystem's RunOutcome is a
+ * superset (full counter snapshot); benches that only need the
+ * headline numbers keep using this alias through runOnce below.
+ */
+using RunOutcome = lab::RunOutcome;
 
-/** Run @p build under @p config. */
+/**
+ * Run @p build under @p config. Thin wrapper over lab::runOnce, which
+ * moves the per-call log out of the finished Core instead of copying
+ * one vector per call site.
+ */
 inline RunOutcome
-runOnce(const Workload::Build &build, SystemConfig config)
+runOnce(const Workload::Build &build, const SystemConfig &config)
 {
-    System sys(config, build.prog);
-    sys.run();
-    RunOutcome out;
-    out.cycles = sys.cycles();
-    out.ucodeDispatches = sys.core().stats().get("ucodeDispatches");
-    out.callLog = sys.core().callLog();
-    if (config.mode == ExecMode::Liquid) {
-        out.translations = sys.translator().stats().get("translations");
-        out.aborts = sys.translator().stats().get("aborts");
-    }
-    return out;
+    return lab::runOnce(build, config);
 }
 
 /** Cycles of the paper's baseline: inline scalar, no accelerator. */

@@ -1,0 +1,549 @@
+/**
+ * @file
+ * Minimal JSON value / writer / parser for the lab results layer and
+ * the CLI tools. Deliberately small: objects preserve insertion order
+ * (so serialization is deterministic and diffs are stable), numbers
+ * are int64 or double, and doubles round-trip via std::to_chars
+ * shortest form so the same value always prints the same bytes.
+ */
+
+#ifndef LIQUID_COMMON_JSON_HH
+#define LIQUID_COMMON_JSON_HH
+
+#include <charconv>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace liquid::json
+{
+
+/** One JSON value. Objects keep keys in insertion order. */
+class Value
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Int,
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    Value() = default;
+    Value(std::nullptr_t) {}
+    Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+    Value(std::int64_t v) : kind_(Kind::Int), int_(v) {}
+    Value(std::uint64_t v)
+        : kind_(Kind::Int), int_(static_cast<std::int64_t>(v))
+    {
+    }
+    Value(int v) : kind_(Kind::Int), int_(v) {}
+    Value(unsigned v) : kind_(Kind::Int), int_(v) {}
+    Value(double v) : kind_(Kind::Double), double_(v) {}
+    Value(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+    Value(const char *s) : kind_(Kind::String), str_(s) {}
+
+    /** Make an empty array / object. */
+    static Value
+    array()
+    {
+        Value v;
+        v.kind_ = Kind::Array;
+        return v;
+    }
+
+    static Value
+    object()
+    {
+        Value v;
+        v.kind_ = Kind::Object;
+        return v;
+    }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isNumber() const
+    {
+        return kind_ == Kind::Int || kind_ == Kind::Double;
+    }
+
+    bool
+    asBool() const
+    {
+        LIQUID_ASSERT(kind_ == Kind::Bool, "json: not a bool");
+        return bool_;
+    }
+
+    std::int64_t
+    asInt() const
+    {
+        if (kind_ == Kind::Double)
+            return static_cast<std::int64_t>(double_);
+        LIQUID_ASSERT(kind_ == Kind::Int, "json: not a number");
+        return int_;
+    }
+
+    std::uint64_t asUint() const
+    {
+        return static_cast<std::uint64_t>(asInt());
+    }
+
+    double
+    asDouble() const
+    {
+        if (kind_ == Kind::Int)
+            return static_cast<double>(int_);
+        LIQUID_ASSERT(kind_ == Kind::Double, "json: not a number");
+        return double_;
+    }
+
+    const std::string &
+    asString() const
+    {
+        LIQUID_ASSERT(kind_ == Kind::String, "json: not a string");
+        return str_;
+    }
+
+    // ---- array -----------------------------------------------------------
+
+    const std::vector<Value> &
+    items() const
+    {
+        LIQUID_ASSERT(kind_ == Kind::Array, "json: not an array");
+        return arr_;
+    }
+
+    void
+    push(Value v)
+    {
+        LIQUID_ASSERT(kind_ == Kind::Array, "json: not an array");
+        arr_.push_back(std::move(v));
+    }
+
+    // ---- object ----------------------------------------------------------
+
+    const std::vector<std::pair<std::string, Value>> &
+    members() const
+    {
+        LIQUID_ASSERT(kind_ == Kind::Object, "json: not an object");
+        return obj_;
+    }
+
+    /** Append (or overwrite) a member. */
+    void
+    set(const std::string &key, Value v)
+    {
+        LIQUID_ASSERT(kind_ == Kind::Object, "json: not an object");
+        for (auto &kv : obj_) {
+            if (kv.first == key) {
+                kv.second = std::move(v);
+                return;
+            }
+        }
+        obj_.emplace_back(key, std::move(v));
+    }
+
+    /** Member lookup; null when missing. */
+    const Value *
+    find(const std::string &key) const
+    {
+        if (kind_ != Kind::Object)
+            return nullptr;
+        for (const auto &kv : obj_) {
+            if (kv.first == key)
+                return &kv.second;
+        }
+        return nullptr;
+    }
+
+    /** Member lookup; fatal() when missing. */
+    const Value &
+    at(const std::string &key) const
+    {
+        const Value *v = find(key);
+        if (!v)
+            fatal("json: missing key '", key, "'");
+        return *v;
+    }
+
+    // ---- serialization ---------------------------------------------------
+
+    /**
+     * Serialize. @p indent > 0 pretty-prints; the output for a given
+     * Value is byte-identical across runs and platforms.
+     */
+    void
+    write(std::ostream &os, int indent = 2, int depth = 0) const
+    {
+        switch (kind_) {
+          case Kind::Null:
+            os << "null";
+            break;
+          case Kind::Bool:
+            os << (bool_ ? "true" : "false");
+            break;
+          case Kind::Int:
+            os << int_;
+            break;
+          case Kind::Double: {
+            char buf[64];
+            auto res = std::to_chars(buf, buf + sizeof(buf), double_);
+            os.write(buf, res.ptr - buf);
+            break;
+          }
+          case Kind::String:
+            writeString(os, str_);
+            break;
+          case Kind::Array: {
+            if (arr_.empty()) {
+                os << "[]";
+                break;
+            }
+            os << '[';
+            for (std::size_t i = 0; i < arr_.size(); ++i) {
+                if (i)
+                    os << ',';
+                newline(os, indent, depth + 1);
+                arr_[i].write(os, indent, depth + 1);
+            }
+            newline(os, indent, depth);
+            os << ']';
+            break;
+          }
+          case Kind::Object: {
+            if (obj_.empty()) {
+                os << "{}";
+                break;
+            }
+            os << '{';
+            for (std::size_t i = 0; i < obj_.size(); ++i) {
+                if (i)
+                    os << ',';
+                newline(os, indent, depth + 1);
+                writeString(os, obj_[i].first);
+                os << (indent > 0 ? ": " : ":");
+                obj_[i].second.write(os, indent, depth + 1);
+            }
+            newline(os, indent, depth);
+            os << '}';
+            break;
+          }
+        }
+    }
+
+    std::string
+    toString(int indent = 2) const
+    {
+        std::ostringstream os;
+        write(os, indent);
+        if (indent > 0)
+            os << '\n';
+        return os.str();
+    }
+
+  private:
+    static void
+    newline(std::ostream &os, int indent, int depth)
+    {
+        if (indent <= 0)
+            return;
+        os << '\n' << std::string(static_cast<std::size_t>(indent * depth), ' ');
+    }
+
+    static void
+    writeString(std::ostream &os, const std::string &s)
+    {
+        os << '"';
+        for (char c : s) {
+            switch (c) {
+              case '"':
+                os << "\\\"";
+                break;
+              case '\\':
+                os << "\\\\";
+                break;
+              case '\n':
+                os << "\\n";
+                break;
+              case '\t':
+                os << "\\t";
+                break;
+              case '\r':
+                os << "\\r";
+                break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    os << buf;
+                } else {
+                    os << c;
+                }
+            }
+        }
+        os << '"';
+    }
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    double double_ = 0;
+    std::string str_;
+    std::vector<Value> arr_;
+    std::vector<std::pair<std::string, Value>> obj_;
+};
+
+// ---- parsing -------------------------------------------------------------
+
+namespace detail
+{
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Value
+    parse()
+    {
+        Value v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        fatal("json parse error at byte ", pos_, ": ", why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeLit(const char *lit)
+    {
+        const std::size_t n = std::char_traits<char>::length(lit);
+        if (text_.compare(pos_, n, lit) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    Value
+    parseValue()
+    {
+        const char c = peek();
+        switch (c) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return Value(parseString());
+          case 't':
+            if (consumeLit("true"))
+                return Value(true);
+            fail("bad literal");
+          case 'f':
+            if (consumeLit("false"))
+                return Value(false);
+            fail("bad literal");
+          case 'n':
+            if (consumeLit("null"))
+                return Value(nullptr);
+            fail("bad literal");
+          default:
+            return parseNumber();
+        }
+    }
+
+    Value
+    parseObject()
+    {
+        expect('{');
+        Value obj = Value::object();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        while (true) {
+            std::string key = parseString();
+            expect(':');
+            obj.set(key, parseValue());
+            const char c = peek();
+            ++pos_;
+            if (c == '}')
+                return obj;
+            if (c != ',')
+                fail("expected ',' or '}'");
+        }
+    }
+
+    Value
+    parseArray()
+    {
+        expect('[');
+        Value arr = Value::array();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        while (true) {
+            arr.push(parseValue());
+            const char c = peek();
+            ++pos_;
+            if (c == ']')
+                return arr;
+            if (c != ',')
+                fail("expected ',' or ']'");
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("bad \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape");
+                }
+                // Only BMP code points below 0x80 appear in our own
+                // output; encode the rest as UTF-8 for completeness.
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xC0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (cp & 0x3F));
+                }
+                break;
+              }
+              default:
+                fail("bad escape");
+            }
+        }
+        fail("unterminated string");
+    }
+
+    Value
+    parseNumber()
+    {
+        skipWs();
+        const std::size_t start = pos_;
+        bool isDouble = false;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '.' || c == 'e' || c == 'E')
+                isDouble = true;
+            else if (!(c == '-' || c == '+' || (c >= '0' && c <= '9')))
+                break;
+            ++pos_;
+        }
+        const std::string tok = text_.substr(start, pos_ - start);
+        if (tok.empty())
+            fail("expected a value");
+        if (isDouble) {
+            double d = 0;
+            auto res =
+                std::from_chars(tok.data(), tok.data() + tok.size(), d);
+            if (res.ec != std::errc())
+                fail("bad number '" + tok + "'");
+            return Value(d);
+        }
+        std::int64_t i = 0;
+        auto res = std::from_chars(tok.data(), tok.data() + tok.size(), i);
+        if (res.ec != std::errc())
+            fail("bad number '" + tok + "'");
+        return Value(i);
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace detail
+
+/** Parse a JSON document; fatal() on malformed input. */
+inline Value
+parse(const std::string &text)
+{
+    return detail::Parser(text).parse();
+}
+
+} // namespace liquid::json
+
+#endif // LIQUID_COMMON_JSON_HH

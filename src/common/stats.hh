@@ -16,11 +16,25 @@
 namespace liquid
 {
 
-/** A named bag of 64-bit counters with hierarchical dotted names. */
+/**
+ * A named bag of 64-bit counters with hierarchical dotted names.
+ *
+ * Every StatGroup is owned by exactly one component of one System —
+ * there are deliberately no process-global groups, which is what makes
+ * it safe for the lab runner to simulate many Systems concurrently.
+ * The type is therefore move-only: copying a live group would alias
+ * counters across owners; consumers that want a snapshot read the
+ * counters() map or merge() into their own group.
+ */
 class StatGroup
 {
   public:
     explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+    StatGroup(StatGroup &&) = default;
+    StatGroup &operator=(StatGroup &&) = default;
 
     /** Add @p delta to counter @p stat (creates it at zero). */
     void
@@ -52,6 +66,18 @@ class StatGroup
             kv.second = 0;
     }
 
+    /**
+     * Accumulate another group's counters into this one (suite-total
+     * aggregation in the lab results layer). Counter names are merged;
+     * the other group is not modified.
+     */
+    void
+    merge(const StatGroup &other)
+    {
+        for (const auto &[stat, value] : other.counters_)
+            counters_[stat] += value;
+    }
+
     const std::string &name() const { return name_; }
 
     const std::map<std::string, std::uint64_t> &
@@ -59,6 +85,10 @@ class StatGroup
     {
         return counters_;
     }
+
+    /** Const-correct iteration: for (const auto &[stat, value] : g). */
+    auto begin() const { return counters_.begin(); }
+    auto end() const { return counters_.end(); }
 
     /** Dump "group.stat value" lines. */
     void

@@ -140,6 +140,17 @@ class Core
         return callLog_;
     }
 
+    /**
+     * Destructively claim the call log. Large sweeps harvest it from a
+     * finished Core without copying one vector per call site; the core
+     * must not run further afterwards.
+     */
+    std::map<Addr, std::vector<Cycles>>
+    takeCallLog()
+    {
+        return std::move(callLog_);
+    }
+
     const CoreConfig &config() const { return config_; }
 
   private:

@@ -1,0 +1,84 @@
+#include "lab/diff.hh"
+
+#include <sstream>
+
+namespace liquid::lab
+{
+
+std::string
+DiffEntry::describe() const
+{
+    std::ostringstream os;
+    if (metric == "missing") {
+        os << key << ": present in baseline, missing from results";
+        return os.str();
+    }
+    if (metric == "new") {
+        os << key << ": not in baseline";
+        return os.str();
+    }
+    os << key << ": " << metric << ' ' << baseline << " -> " << current
+       << " (" << (relative >= 0 ? "+" : "")
+       << static_cast<long long>(relative * 10000) / 100.0 << "%)";
+    return os.str();
+}
+
+namespace
+{
+
+void
+compareMetric(const std::string &key, const std::string &metric,
+              double base, double cur, double tolerance,
+              DiffReport &report)
+{
+    if (base == 0 && cur == 0)
+        return;
+    const double rel = base == 0 ? 1.0 : (cur - base) / base;
+    DiffEntry e{key, metric, base, cur, rel};
+    if (rel > tolerance)
+        report.regressions.push_back(std::move(e));
+    else if (rel < -tolerance)
+        report.improvements.push_back(std::move(e));
+}
+
+} // namespace
+
+DiffReport
+diffResults(const ResultSet &baseline, const ResultSet &current,
+            const DiffOptions &options)
+{
+    DiffReport report;
+
+    for (const auto &base : baseline.results()) {
+        const std::string key = base.job.key();
+        const JobResult *cur = current.find(key);
+        if (!cur) {
+            report.regressions.push_back(DiffEntry{key, "missing", 0, 0, 0});
+            continue;
+        }
+        ++report.jobsCompared;
+        compareMetric(key, "cycles",
+                      static_cast<double>(base.outcome.cycles),
+                      static_cast<double>(cur->outcome.cycles),
+                      options.cycleTolerance, report);
+        for (const auto &[metric, tol] : options.counterTolerances) {
+            auto lookup = [&](const RunOutcome &o) -> double {
+                auto it = o.counters.find(metric);
+                return it == o.counters.end()
+                           ? 0.0
+                           : static_cast<double>(it->second);
+            };
+            compareMetric(key, metric, lookup(base.outcome),
+                          lookup(cur->outcome), tol, report);
+        }
+    }
+
+    for (const auto &cur : current.results()) {
+        if (!baseline.find(cur.job.key()))
+            report.notes.push_back(
+                DiffEntry{cur.job.key(), "new", 0, 0, 0});
+    }
+    return report;
+}
+
+} // namespace liquid::lab

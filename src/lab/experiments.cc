@@ -1,0 +1,460 @@
+#include "lab/experiments.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace liquid::lab
+{
+
+namespace
+{
+
+// ---- campaign definitions -------------------------------------------------
+
+std::vector<unsigned>
+smokeReps(bool smoke)
+{
+    return smoke ? std::vector<unsigned>{2} : std::vector<unsigned>{};
+}
+
+ExperimentMatrix
+fig6Matrix(bool smoke)
+{
+    ExperimentSpec main;
+    main.name = "fig6";
+    main.modes = {ExecMode::ScalarBaseline, ExecMode::Liquid};
+    main.widths = {2, 4, 8, 16};
+    main.repsList = smokeReps(smoke);
+    main.includeIdeal = true;
+    main.idealWidth = 8;
+
+    // Native emission requires the accelerator to be at least as wide
+    // as the widest permutation block (8 in several kernels), so the
+    // native reference point runs at width 8 only -- the figure's
+    // "built-in ISA" comparison, not a sweep.
+    ExperimentSpec native;
+    native.name = "fig6";
+    native.modes = {ExecMode::NativeSimd};
+    native.widths = {8};
+    native.repsList = smokeReps(smoke);
+
+    ExperimentMatrix matrix;
+    matrix.specs.push_back(std::move(main));
+    matrix.specs.push_back(std::move(native));
+
+    if (!smoke) {
+        // The callout: virtualization overhead vs hot-loop call count
+        // on fir, the paper's worst case.
+        ExperimentSpec callout;
+        callout.name = "fig6_callout";
+        callout.workloads = {"fir"};
+        callout.modes = {ExecMode::ScalarBaseline, ExecMode::Liquid};
+        callout.widths = {8};
+        callout.repsList = {24, 128, 512, 2048};
+        callout.includeIdeal = true;
+        callout.idealWidth = 8;
+        matrix.specs.push_back(std::move(callout));
+    }
+    return matrix;
+}
+
+ExperimentMatrix
+ucacheMatrix(bool smoke)
+{
+    ExperimentSpec spec;
+    spec.name = "ucache";
+    spec.modes = {ExecMode::Liquid};
+    spec.widths = {8};
+    spec.repsList = smokeReps(smoke);
+    for (unsigned entries : {1u, 2u, 4u, 8u, 16u}) {
+        ConfigOverrides over;
+        over.ucodeEntries = entries;
+        spec.overrides.push_back(over);
+    }
+    ExperimentMatrix matrix;
+    matrix.specs.push_back(std::move(spec));
+    return matrix;
+}
+
+ExperimentMatrix
+latencyMatrix(bool smoke)
+{
+    ExperimentSpec spec;
+    spec.name = "latency";
+    spec.modes = {ExecMode::Liquid};
+    spec.widths = {8};
+    spec.repsList = smokeReps(smoke);
+    for (Cycles lat : {0u, 1u, 10u, 50u, 200u}) {
+        ConfigOverrides over;
+        over.translatorLatency = lat;
+        spec.overrides.push_back(over);
+    }
+    ExperimentMatrix matrix;
+    matrix.specs.push_back(std::move(spec));
+    return matrix;
+}
+
+ExperimentMatrix
+cacheMatrix(bool smoke)
+{
+    ExperimentSpec spec;
+    spec.name = "cache";
+    spec.modes = {ExecMode::ScalarBaseline, ExecMode::Liquid};
+    spec.widths = {8};
+    spec.repsList = smokeReps(smoke);
+    for (std::size_t bytes :
+         {std::size_t{4} * 1024, std::size_t{16} * 1024,
+          std::size_t{64} * 1024, std::size_t{256} * 1024}) {
+        ConfigOverrides over;
+        over.dcacheSizeBytes = bytes;
+        over.dcacheAssoc = 64;
+        spec.overrides.push_back(over);
+    }
+    ExperimentMatrix matrix;
+    matrix.specs.push_back(std::move(spec));
+    return matrix;
+}
+
+// ---- rendering helpers ----------------------------------------------------
+
+/** Fixed-width column printer (negative width = left-aligned). */
+void
+cell(std::ostream &os, int width, const std::string &text)
+{
+    if (width < 0)
+        os << std::left << std::setw(-width) << text << std::right;
+    else
+        os << std::setw(width) << text;
+}
+
+std::string
+fmt(double value, int precision = 2)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+/** Results of one experiment, grouped per workload in suite order. */
+std::vector<std::pair<std::string, std::vector<const JobResult *>>>
+groupByWorkload(const ResultSet &results, const std::string &experiment)
+{
+    std::vector<std::pair<std::string, std::vector<const JobResult *>>>
+        groups;
+    for (const auto &name : suiteWorkloadNames()) {
+        std::vector<const JobResult *> jobs;
+        for (const auto &r : results.results()) {
+            if (r.job.experiment == experiment && r.job.workload == name)
+                jobs.push_back(&r);
+        }
+        if (!jobs.empty())
+            groups.emplace_back(name, std::move(jobs));
+    }
+    return groups;
+}
+
+const JobResult *
+pick(const std::vector<const JobResult *> &jobs, ExecMode mode,
+     unsigned width, bool ideal = false,
+     const ConfigOverrides *over = nullptr, unsigned reps = 0)
+{
+    for (const JobResult *r : jobs) {
+        if (r->job.mode != mode || r->job.warmStart != ideal)
+            continue;
+        if (mode != ExecMode::ScalarBaseline && r->job.width != width)
+            continue;
+        if (over && !(r->job.over == *over))
+            continue;
+        if (reps && r->job.repsOverride != reps)
+            continue;
+        if (!reps && over == nullptr && r->job.over.tag() != "")
+            continue;
+        return r;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+// ---- renderers ------------------------------------------------------------
+
+bool
+renderFig6(std::ostream &os, const ResultSet &results)
+{
+    os << "=== Figure 6: speedup vs scalar baseline (one Liquid "
+          "binary per benchmark) ===\n\n";
+    const std::vector<std::pair<std::string, int>> cols = {
+        {"benchmark", -14}, {"W=2", 8},    {"W=4", 8},
+        {"W=8", 8},         {"W=16", 8},   {"nat8", 9},
+        {"ideal8", 9},      {"overhead", 10}};
+    std::size_t total = 0;
+    for (const auto &[name, width] : cols) {
+        cell(os, width, name);
+        total += static_cast<std::size_t>(width < 0 ? -width : width);
+    }
+    os << '\n' << std::string(total, '-') << '\n';
+
+    double best_speedup = 0, worst_speedup = 1e9;
+    std::string best_name, worst_name;
+    double m2d_w8 = 0, m2d_w16 = 0;
+    bool sawAny = false;
+
+    for (const auto &[name, jobs] : groupByWorkload(results, "fig6")) {
+        const JobResult *base = pick(jobs, ExecMode::ScalarBaseline, 0);
+        if (!base)
+            continue;
+        sawAny = true;
+        const double baseCycles =
+            static_cast<double>(base->outcome.cycles);
+        auto speedup = [&](const JobResult *r) {
+            return r ? baseCycles /
+                           static_cast<double>(r->outcome.cycles)
+                     : 0.0;
+        };
+
+        cell(os, -14, name);
+        double w8 = 0, w16 = 0;
+        for (unsigned width : {2u, 4u, 8u, 16u}) {
+            const double s =
+                speedup(pick(jobs, ExecMode::Liquid, width));
+            cell(os, 8, fmt(s));
+            if (width == 8)
+                w8 = s;
+            if (width == 16)
+                w16 = s;
+        }
+        const double nat8 =
+            speedup(pick(jobs, ExecMode::NativeSimd, 8));
+        const double ideal8 =
+            speedup(pick(jobs, ExecMode::Liquid, 8, true));
+        cell(os, 9, fmt(nat8));
+        cell(os, 9, fmt(ideal8));
+        cell(os, 10, fmt(ideal8 - w8, 4));
+        os << '\n';
+
+        if (w16 > best_speedup) {
+            best_speedup = w16;
+            best_name = name;
+        }
+        if (w16 < worst_speedup) {
+            worst_speedup = w16;
+            worst_name = name;
+        }
+        if (name == "mpeg2dec") {
+            m2d_w8 = w8;
+            m2d_w16 = w16;
+        }
+    }
+    if (!sawAny)
+        fatal("renderFig6: no fig6 jobs in the result set");
+
+    const bool bestOk = best_name == "fir";
+    const bool worstOk = worst_name == "179.art";
+    const bool flatOk = m2d_w16 <= m2d_w8 * 1.05;
+    os << "\nShape checks vs the paper:\n"
+       << "  highest speedup: " << best_name << " (paper: fir)  -> "
+       << (bestOk ? "match" : "MISMATCH") << '\n'
+       << "  lowest speedup:  " << worst_name
+       << " (paper: 179.art) -> " << (worstOk ? "match" : "MISMATCH")
+       << '\n'
+       << "  mpeg2dec flat 8->16 (paper: 8-element loops): "
+       << fmt(m2d_w8) << " -> " << fmt(m2d_w16) << "  "
+       << (flatOk ? "match" : "MISMATCH") << '\n'
+       << "  per-run overhead columns above are bounded by first-call "
+          "amortization at our small rep counts\n";
+
+    // Callout: overhead vs call count (present in full runs only).
+    const auto callout = groupByWorkload(results, "fig6_callout");
+    if (!callout.empty()) {
+        os << "\n=== Callout: virtualization overhead vs hot-loop "
+              "call count (fir) ===\n\n";
+        for (const auto &[name, width] :
+             std::vector<std::pair<std::string, int>>{
+                 {"calls", 8}, {"liquid", 10}, {"ideal", 10},
+                 {"overhead", 10}})
+            cell(os, width, name);
+        os << '\n' << std::string(38, '-') << '\n';
+        const auto &jobs = callout.front().second;
+        for (unsigned reps : {24u, 128u, 512u, 2048u}) {
+            const JobResult *base = pick(jobs, ExecMode::ScalarBaseline,
+                                         0, false, nullptr, reps);
+            const JobResult *liquid = pick(jobs, ExecMode::Liquid, 8,
+                                           false, nullptr, reps);
+            const JobResult *ideal = pick(jobs, ExecMode::Liquid, 8,
+                                          true, nullptr, reps);
+            if (!base || !liquid || !ideal)
+                continue;
+            const double b = static_cast<double>(base->outcome.cycles);
+            const double s_liquid =
+                b / static_cast<double>(liquid->outcome.cycles);
+            const double s_ideal =
+                b / static_cast<double>(ideal->outcome.cycles);
+            cell(os, 8, std::to_string(reps));
+            cell(os, 10, fmt(s_liquid, 3));
+            cell(os, 10, fmt(s_ideal, 3));
+            cell(os, 10, fmt(s_ideal - s_liquid, 4));
+            os << '\n';
+        }
+        os << "\n(overhead ~ 1/calls; the paper's full-application "
+              "run corresponds to the bottom of this sweep)\n";
+    }
+    return bestOk && worstOk && flatOk;
+}
+
+bool
+renderUcacheSweep(std::ostream &os, const ResultSet &results)
+{
+    os << "=== Ablation: microcode cache capacity (paper: 8 entries x "
+          "64 instructions = 2 KB) ===\n\n";
+    const unsigned sizes[] = {1, 2, 4, 8, 16};
+
+    cell(os, -14, "benchmark");
+    for (unsigned entries : sizes)
+        cell(os, 10, "e=" + std::to_string(entries));
+    os << '\n' << std::string(64, '-') << '\n';
+
+    std::map<unsigned, double> total;
+    for (const auto &[name, jobs] : groupByWorkload(results, "ucache")) {
+        cell(os, -14, name);
+        for (unsigned entries : sizes) {
+            ConfigOverrides over;
+            over.ucodeEntries = entries;
+            const JobResult *r =
+                pick(jobs, ExecMode::Liquid, 8, false, &over);
+            if (!r)
+                fatal("renderUcacheSweep: missing e=", entries,
+                      " job for ", name);
+            cell(os, 10, std::to_string(r->outcome.cycles));
+            total[entries] += static_cast<double>(r->outcome.cycles);
+        }
+        os << '\n';
+    }
+
+    os << "\nSuite totals:\n";
+    for (unsigned entries : sizes) {
+        os << "  " << entries << " entries: "
+           << static_cast<Cycles>(total[entries]) << " cycles\n";
+    }
+    const bool captured = total[8] <= total[16] * 1.001;
+    os << "\n8 entries capture the working set (no gain at 16): "
+       << (captured ? "yes" : "NO") << '\n';
+    return captured;
+}
+
+bool
+renderLatencySweep(std::ostream &os, const ResultSet &results)
+{
+    os << "=== Ablation: translation latency per observed scalar "
+          "instruction ===\n\n";
+    const Cycles latencies[] = {0, 1, 10, 50, 200};
+
+    cell(os, -14, "benchmark");
+    for (Cycles lat : latencies)
+        cell(os, 10, "lat=" + std::to_string(lat));
+    os << '\n' << std::string(64, '-') << '\n';
+
+    std::map<Cycles, double> total;
+    for (const auto &[name, jobs] :
+         groupByWorkload(results, "latency")) {
+        cell(os, -14, name);
+        for (Cycles lat : latencies) {
+            ConfigOverrides over;
+            over.translatorLatency = lat;
+            const JobResult *r =
+                pick(jobs, ExecMode::Liquid, 8, false, &over);
+            if (!r)
+                fatal("renderLatencySweep: missing lat=", lat,
+                      " job for ", name);
+            cell(os, 10, std::to_string(r->outcome.cycles));
+            total[lat] += static_cast<double>(r->outcome.cycles);
+        }
+        os << '\n';
+    }
+
+    os << "\nSuite totals:\n";
+    for (Cycles lat : latencies) {
+        os << "  " << lat
+           << " cycles/inst: " << static_cast<Cycles>(total[lat])
+           << '\n';
+    }
+    const double at1 = 100.0 * (total[1] / total[0] - 1.0);
+    const double at10 = 100.0 * (total[10] / total[0] - 1.0);
+    os << "\nSlowdown vs free translation: " << fmt(at1, 3)
+       << "% at 1 cycle/inst (paper's design: negligible), "
+       << fmt(at10, 2) << "% at 10 cycles/inst\n";
+    return at1 < 0.5;
+}
+
+bool
+renderCacheSweep(std::ostream &os, const ResultSet &results)
+{
+    os << "=== Ablation: Liquid speedup (W=8) vs data cache size "
+          "===\n\n";
+    const std::size_t sizes[] = {4 * 1024, 16 * 1024, 64 * 1024,
+                                 256 * 1024};
+
+    cell(os, -14, "benchmark");
+    for (std::size_t bytes : sizes)
+        cell(os, 8, std::to_string(bytes / 1024) + "KB");
+    os << '\n' << std::string(46, '-') << '\n';
+
+    for (const auto &[name, jobs] : groupByWorkload(results, "cache")) {
+        cell(os, -14, name);
+        for (std::size_t bytes : sizes) {
+            ConfigOverrides over;
+            over.dcacheSizeBytes = bytes;
+            over.dcacheAssoc = 64;
+            const JobResult *base = pick(jobs, ExecMode::ScalarBaseline,
+                                         0, false, &over);
+            const JobResult *liquid =
+                pick(jobs, ExecMode::Liquid, 8, false, &over);
+            if (!base || !liquid)
+                fatal("renderCacheSweep: missing ", bytes,
+                      "B jobs for ", name);
+            cell(os, 8,
+                 fmt(static_cast<double>(base->outcome.cycles) /
+                     static_cast<double>(liquid->outcome.cycles)));
+        }
+        os << '\n';
+    }
+
+    os << "\n179.art's speedup tracks cache size (the paper's "
+          "explanation for its last place); compute-bound benchmarks "
+          "like fir barely move.\n";
+    return true;
+}
+
+// ---- campaign registry ----------------------------------------------------
+
+std::vector<Campaign>
+standardCampaigns(bool smoke)
+{
+    return {
+        {"fig6", "BENCH_fig6.json", fig6Matrix(smoke), renderFig6},
+        {"ucache", "BENCH_ucache.json", ucacheMatrix(smoke),
+         renderUcacheSweep},
+        {"latency", "BENCH_latency.json", latencyMatrix(smoke),
+         renderLatencySweep},
+        {"cache", "BENCH_cache.json", cacheMatrix(smoke),
+         renderCacheSweep},
+    };
+}
+
+Campaign
+campaignByName(const std::string &name, bool smoke)
+{
+    std::string known;
+    for (auto &campaign : standardCampaigns(smoke)) {
+        if (campaign.name == name)
+            return campaign;
+        known += (known.empty() ? "" : ", ") + campaign.name;
+    }
+    fatal("unknown experiment '", name, "' (known: ", known, ")");
+}
+
+} // namespace liquid::lab

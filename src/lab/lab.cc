@@ -1,0 +1,105 @@
+#include "lab/lab.hh"
+
+#include "common/logging.hh"
+
+namespace liquid::lab
+{
+
+namespace
+{
+
+/** Flatten one StatGroup into the outcome's counter map. */
+void
+snapshot(const StatGroup &group, RunOutcome &out)
+{
+    for (const auto &[stat, value] : group)
+        out.counters[group.name() + '.' + stat] = value;
+}
+
+RunOutcome
+harvest(System &sys)
+{
+    RunOutcome out;
+    out.cycles = sys.cycles();
+    out.ucodeDispatches = sys.core().stats().get("ucodeDispatches");
+    snapshot(sys.core().stats(), out);
+    snapshot(sys.core().icache().stats(), out);
+    snapshot(sys.core().dcache().stats(), out);
+    if (sys.config().mode == ExecMode::Liquid) {
+        out.translations = sys.translator().stats().get("translations");
+        out.aborts = sys.translator().stats().get("aborts");
+        snapshot(sys.translator().stats(), out);
+        snapshot(sys.ucodeCache().stats(), out);
+    }
+    out.callLog = sys.core().takeCallLog();
+    return out;
+}
+
+/** Emission mode matching an execution mode. */
+EmitOptions::Mode
+buildMode(ExecMode mode)
+{
+    switch (mode) {
+      case ExecMode::ScalarBaseline:
+        return EmitOptions::Mode::InlineScalar;
+      case ExecMode::Liquid:
+        return EmitOptions::Mode::Scalarized;
+      case ExecMode::NativeSimd:
+        return EmitOptions::Mode::Native;
+    }
+    panic("unknown ExecMode");
+}
+
+} // namespace
+
+RunOutcome
+runOnce(const Workload::Build &build, const SystemConfig &config)
+{
+    System sys(config, build.prog);
+    sys.run();
+    return harvest(sys);
+}
+
+Workload::Build
+buildJob(const Job &job)
+{
+    std::unique_ptr<Workload> wl;
+    for (auto &candidate : makeSuite()) {
+        if (candidate->name() == job.workload)
+            wl = std::move(candidate);
+    }
+    if (!wl)
+        fatal("lab: unknown workload '", job.workload, "'");
+    if (job.repsOverride)
+        wl->setReps(job.repsOverride);
+    return wl->build(buildMode(job.mode), job.width ? job.width : 8);
+}
+
+RunOutcome
+runBuilt(const Job &job, const Workload::Build &build)
+{
+    const SystemConfig config = job.config();
+
+    if (!job.warmStart)
+        return runOnce(build, config);
+
+    // Figure 6 callout: model built-in ISA support by warm-starting
+    // the microcode cache from a first translating run, so the second
+    // run dispatches SIMD from the very first call.
+    LIQUID_ASSERT(config.mode == ExecMode::Liquid,
+                  "warmStart requires Liquid mode");
+    System warmup(config, build.prog);
+    warmup.run();
+    System ideal(config, build.prog);
+    ideal.ucodeCache().warmStartFrom(warmup.ucodeCache());
+    ideal.run();
+    return harvest(ideal);
+}
+
+RunOutcome
+runJob(const Job &job)
+{
+    return runBuilt(job, buildJob(job));
+}
+
+} // namespace liquid::lab

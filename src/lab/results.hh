@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Structured results for the lab subsystem: every finished Job becomes
+ * a JobResult carrying the full RunOutcome (cycles, flattened
+ * StatGroup counters, call log); a ResultSet serializes them to the
+ * machine-readable BENCH_*.json files that the paper-table renderers,
+ * the regression gate and CI consume. Serialization is deterministic:
+ * results are sorted by canonical job key and numbers format
+ * identically across platforms, so the same matrix produces
+ * byte-identical JSON at any --jobs count.
+ */
+
+#ifndef LIQUID_LAB_RESULTS_HH
+#define LIQUID_LAB_RESULTS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "lab/lab.hh"
+#include "lab/spec.hh"
+
+namespace liquid::lab
+{
+
+/** Results file schema identifier. */
+inline constexpr const char *resultsSchema = "liquid-lab-results-v1";
+
+/** One job's identity plus everything its simulation produced. */
+struct JobResult
+{
+    Job job;
+    RunOutcome outcome;
+    /** Served from the on-disk result cache (not serialized). */
+    bool fromCache = false;
+
+    json::Value toJson() const;
+    static JobResult fromJson(const json::Value &v);
+};
+
+/** An ordered, key-addressable collection of job results. */
+class ResultSet
+{
+  public:
+    void add(JobResult result);
+
+    /** Sort by canonical job key (serialization order). */
+    void sortByKey();
+
+    const std::vector<JobResult> &results() const { return results_; }
+    std::size_t size() const { return results_.size(); }
+
+    /** Lookup by canonical key; nullptr when absent. */
+    const JobResult *find(const std::string &key) const;
+
+    /** Lookup by key; fatal() when absent. */
+    const JobResult &at(const std::string &key) const;
+
+    /** Cycles of the job with @p key; fatal() when absent. */
+    Cycles cycles(const std::string &key) const;
+
+    /** Serialize (sorted copy is NOT implied: call sortByKey first). */
+    json::Value toJson() const;
+    std::string writeString() const;
+    void writeFile(const std::string &path) const;
+
+    static ResultSet fromJson(const json::Value &v);
+    static ResultSet readFile(const std::string &path);
+
+  private:
+    std::vector<JobResult> results_;
+};
+
+} // namespace liquid::lab
+
+#endif // LIQUID_LAB_RESULTS_HH

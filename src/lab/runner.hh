@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Work-stealing parallel job runner.
+ *
+ * Jobs are dealt round-robin onto per-worker deques; each worker pops
+ * from the front of its own deque and, when empty, steals from the
+ * back of a victim's. Every worker constructs its own Systems (see
+ * lab.hh for the thread-safety audit), and each result is written into
+ * a slot preallocated for its job index, so the finished ResultSet —
+ * sorted by canonical key — is bit-identical regardless of thread
+ * count or schedule.
+ */
+
+#ifndef LIQUID_LAB_RUNNER_HH
+#define LIQUID_LAB_RUNNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "lab/result_cache.hh"
+#include "lab/results.hh"
+#include "lab/spec.hh"
+
+namespace liquid::lab
+{
+
+/** Orchestration counters for one Runner::run call. */
+struct RunnerStats
+{
+    std::uint64_t jobs = 0;         ///< jobs executed in total
+    std::uint64_t simulations = 0;  ///< jobs that actually simulated
+    std::uint64_t cacheHits = 0;    ///< jobs served from the cache
+    std::uint64_t steals = 0;       ///< jobs taken from another worker
+};
+
+class Runner
+{
+  public:
+    /** @p jobs worker threads; 0 = hardware concurrency. */
+    explicit Runner(unsigned jobs);
+
+    unsigned workers() const { return workers_; }
+
+    /**
+     * Run every job (through @p cache when non-null) and return the
+     * results sorted by key. Progress callback, when set, is invoked
+     * serially under a lock as jobs finish.
+     */
+    ResultSet run(const std::vector<Job> &jobs,
+                  const ResultCache *cache = nullptr,
+                  RunnerStats *stats = nullptr,
+                  std::function<void(const JobResult &)> progress = {});
+
+  private:
+    unsigned workers_;
+};
+
+} // namespace liquid::lab
+
+#endif // LIQUID_LAB_RUNNER_HH

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Lab orchestration subsystem tests: matrix expansion, parallel
+ * determinism (byte-identical JSON at 1 vs 8 workers), the on-disk
+ * result cache (second run performs zero simulations), the regression
+ * gate, and the StatGroup single-owner contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <type_traits>
+
+#include "common/stats.hh"
+#include "lab/diff.hh"
+#include "lab/experiments.hh"
+#include "lab/result_cache.hh"
+#include "lab/runner.hh"
+#include "lab/spec.hh"
+
+namespace liquid::lab
+{
+namespace
+{
+
+// StatGroups are owned by exactly one component of one System; the
+// move-only type is what lets the runner simulate Systems on many
+// threads without aliased counters.
+static_assert(!std::is_copy_constructible_v<StatGroup>,
+              "StatGroup must not be copyable (single-System-owned)");
+static_assert(!std::is_copy_assignable_v<StatGroup>,
+              "StatGroup must not be copy-assignable");
+static_assert(std::is_move_constructible_v<StatGroup>,
+              "StatGroup ownership must be transferable");
+
+/** A small, fast matrix exercising every job axis. */
+std::vector<Job>
+smallMatrix()
+{
+    ExperimentSpec spec;
+    spec.name = "labtest";
+    spec.workloads = {"fir", "lu", "fft"};
+    spec.modes = {ExecMode::ScalarBaseline, ExecMode::Liquid};
+    spec.widths = {2, 8};
+    spec.repsList = {2};
+    spec.includeIdeal = true;
+    spec.idealWidth = 8;
+    return spec.expand();
+}
+
+struct TempDir
+{
+    std::filesystem::path path;
+
+    explicit TempDir(const std::string &name)
+        : path(std::filesystem::temp_directory_path() / name)
+    {
+        std::filesystem::remove_all(path);
+    }
+
+    ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+TEST(LabSpec, SuiteExpansionAndKeys)
+{
+    ExperimentSpec spec;
+    spec.name = "x";
+    spec.modes = {ExecMode::ScalarBaseline, ExecMode::Liquid};
+    spec.widths = {2, 4, 8, 16};
+    const auto jobs = spec.expand();
+
+    // Empty workload list means the whole 15-benchmark suite; the
+    // scalar baseline has no width axis, so each workload yields one
+    // scalar job plus four Liquid jobs.
+    ASSERT_EQ(suiteWorkloadNames().size(), 15u);
+    EXPECT_EQ(jobs.size(), 15u * (1 + 4));
+
+    std::set<std::string> keys;
+    unsigned scalar = 0;
+    for (const auto &job : jobs) {
+        EXPECT_TRUE(keys.insert(job.key()).second)
+            << "duplicate key " << job.key();
+        if (job.mode == ExecMode::ScalarBaseline) {
+            ++scalar;
+            EXPECT_EQ(job.width, 0u) << job.key();
+        }
+    }
+    EXPECT_EQ(scalar, 15u);
+}
+
+TEST(LabSpec, KeyFormatAndSeeds)
+{
+    Job job;
+    job.experiment = "fig6";
+    job.workload = "fir";
+    job.mode = ExecMode::Liquid;
+    job.width = 8;
+    EXPECT_EQ(job.key(), "fig6/fir/liquid/w8");
+
+    job.warmStart = true;
+    EXPECT_EQ(job.key(), "fig6/fir/liquid/w8/ideal");
+
+    job.warmStart = false;
+    job.over.ucodeEntries = 4;
+    job.repsOverride = 128;
+    EXPECT_EQ(job.key(), "fig6/fir/liquid/w8/e4/reps128");
+
+    // Distinct keys must give distinct deterministic seeds.
+    Job other = job;
+    other.width = 16;
+    EXPECT_NE(job.rngSeed(), other.rngSeed());
+    EXPECT_EQ(job.rngSeed(), fnv1a(job.key()));
+}
+
+TEST(LabSpec, OverridesApplyAndDedup)
+{
+    Job job;
+    job.experiment = "x";
+    job.workload = "fir";
+    job.mode = ExecMode::Liquid;
+    job.width = 8;
+    job.over.ucodeEntries = 2;
+    job.over.dcacheSizeBytes = 4096;
+    job.over.dcacheAssoc = 64;
+    const SystemConfig config = job.config();
+    EXPECT_EQ(config.ucodeCache.entries, 2u);
+    EXPECT_EQ(config.core.dcache.sizeBytes, 4096u);
+    EXPECT_EQ(config.core.dcache.assoc, 64u);
+
+    // Two specs covering the same point collapse to one job.
+    ExperimentSpec a, b;
+    a.name = b.name = "x";
+    a.workloads = b.workloads = {"fir"};
+    a.modes = b.modes = {ExecMode::Liquid};
+    a.widths = b.widths = {8};
+    ExperimentMatrix matrix;
+    matrix.specs = {a, b};
+    EXPECT_EQ(matrix.expand().size(), 1u);
+}
+
+TEST(LabSpec, ModeNamesRoundTrip)
+{
+    for (ExecMode mode : {ExecMode::ScalarBaseline, ExecMode::Liquid,
+                          ExecMode::NativeSimd})
+        EXPECT_EQ(modeFromName(modeName(mode)), mode);
+}
+
+TEST(LabRunner, ParallelRunsAreByteIdentical)
+{
+    const auto jobs = smallMatrix();
+    RunnerStats serialStats, parallelStats;
+    const ResultSet serial = Runner(1).run(jobs, nullptr, &serialStats);
+    const ResultSet parallel =
+        Runner(8).run(jobs, nullptr, &parallelStats);
+
+    EXPECT_EQ(serialStats.jobs, jobs.size());
+    EXPECT_EQ(parallelStats.jobs, jobs.size());
+    EXPECT_EQ(serialStats.simulations, jobs.size());
+    EXPECT_EQ(parallelStats.simulations, jobs.size());
+
+    // The headline requirement: the serialized results are
+    // byte-identical no matter how many workers ran the matrix.
+    EXPECT_EQ(serial.writeString(), parallel.writeString());
+}
+
+TEST(LabRunner, ResultCacheSecondRunSimulatesNothing)
+{
+    const auto jobs = smallMatrix();
+    TempDir dir("liquid-lab-test-cache");
+    const ResultCache cache(dir.path.string());
+
+    RunnerStats cold;
+    const ResultSet first = Runner(2).run(jobs, &cache, &cold);
+    EXPECT_EQ(cold.simulations, jobs.size());
+    EXPECT_EQ(cold.cacheHits, 0u);
+
+    RunnerStats warm;
+    const ResultSet second = Runner(2).run(jobs, &cache, &warm);
+    EXPECT_EQ(warm.simulations, 0u);
+    EXPECT_EQ(warm.cacheHits, jobs.size());
+
+    // Cached results serialize identically to fresh ones.
+    EXPECT_EQ(first.writeString(), second.writeString());
+}
+
+TEST(LabRunner, CacheKeySeparatesConfigurations)
+{
+    Job job;
+    job.experiment = "x";
+    job.workload = "fir";
+    job.mode = ExecMode::Liquid;
+    job.width = 8;
+    job.repsOverride = 2;
+    const auto build = buildJob(job);
+    const std::string base = contentHash(job, build, job.config());
+
+    SystemConfig tweaked = job.config();
+    tweaked.translator.latencyPerInst += 1;
+    EXPECT_NE(contentHash(job, build, tweaked), base);
+
+    Job ideal = job;
+    ideal.warmStart = true;
+    EXPECT_NE(contentHash(ideal, build, ideal.config()), base);
+}
+
+TEST(LabResults, JsonRoundTrip)
+{
+    ExperimentSpec spec;
+    spec.name = "rt";
+    spec.workloads = {"fir"};
+    spec.modes = {ExecMode::ScalarBaseline, ExecMode::Liquid};
+    spec.widths = {4};
+    spec.repsList = {2};
+    const ResultSet results = Runner(1).run(spec.expand());
+    ASSERT_EQ(results.size(), 2u);
+
+    const std::string text = results.writeString();
+    const ResultSet back = ResultSet::fromJson(json::parse(text));
+    EXPECT_EQ(back.writeString(), text);
+
+    const JobResult &liquid = back.at("rt/fir/liquid/w4/reps2");
+    EXPECT_GT(liquid.outcome.cycles, 0u);
+    EXPECT_GT(liquid.outcome.translations, 0u);
+    EXPECT_GT(liquid.outcome.counters.at("core.insts"), 0u);
+    EXPECT_FALSE(liquid.outcome.callLog.empty());
+    EXPECT_LT(liquid.outcome.cycles,
+              back.cycles("rt/fir/scalar/reps2"));
+}
+
+TEST(LabDiff, GateCatchesInjectedRegression)
+{
+    ExperimentSpec spec;
+    spec.name = "gate";
+    spec.workloads = {"fir", "lu"};
+    spec.modes = {ExecMode::Liquid};
+    spec.widths = {8};
+    spec.repsList = {2};
+    const ResultSet baseline = Runner(1).run(spec.expand());
+
+    // Identical results pass.
+    EXPECT_TRUE(diffResults(baseline, baseline).ok());
+
+    auto inflate = [&](double factor) {
+        ResultSet tampered;
+        for (JobResult r : baseline.results()) {
+            if (r.job.workload == "fir")
+                r.outcome.cycles = static_cast<Cycles>(
+                    static_cast<double>(r.outcome.cycles) * factor);
+            tampered.add(std::move(r));
+        }
+        tampered.sortByKey();
+        return tampered;
+    };
+
+    // A 5% cycle regression trips the default 2% gate...
+    const DiffReport bad = diffResults(baseline, inflate(1.05));
+    EXPECT_FALSE(bad.ok());
+    ASSERT_EQ(bad.regressions.size(), 1u);
+    EXPECT_EQ(bad.regressions[0].metric, "cycles");
+    EXPECT_NEAR(bad.regressions[0].relative, 0.05, 0.01);
+
+    // ...a 1% wobble does not...
+    EXPECT_TRUE(diffResults(baseline, inflate(1.01)).ok());
+
+    // ...and a beyond-tolerance improvement is reported, not failed.
+    const DiffReport better = diffResults(baseline, inflate(0.90));
+    EXPECT_TRUE(better.ok());
+    EXPECT_EQ(better.improvements.size(), 1u);
+
+    // A job missing from the new results is always a failure.
+    ResultSet partial;
+    for (JobResult r : baseline.results())
+        if (r.job.workload != "fir")
+            partial.add(std::move(r));
+    const DiffReport missing = diffResults(baseline, partial);
+    EXPECT_FALSE(missing.ok());
+    ASSERT_EQ(missing.regressions.size(), 1u);
+    EXPECT_EQ(missing.regressions[0].metric, "missing");
+}
+
+TEST(LabCampaigns, SmokeMatrixShrinksButCoversTheSuite)
+{
+    for (const auto &campaign : standardCampaigns(/*smoke=*/true)) {
+        const auto jobs = campaign.matrix.expand();
+        EXPECT_FALSE(jobs.empty()) << campaign.name;
+        std::set<std::string> workloads;
+        for (const auto &job : jobs) {
+            workloads.insert(job.workload);
+            EXPECT_EQ(job.repsOverride, 2u) << job.key();
+        }
+        EXPECT_EQ(workloads.size(), 15u) << campaign.name;
+
+        const auto full =
+            campaignByName(campaign.name, /*smoke=*/false)
+                .matrix.expand();
+        EXPECT_GE(full.size(), jobs.size()) << campaign.name;
+    }
+}
+
+TEST(LabStats, MergeAccumulatesCounters)
+{
+    StatGroup a("a"), b("b");
+    a.inc("cycles", 10);
+    a.inc("insts", 3);
+    b.inc("cycles", 5);
+    b.inc("misses", 7);
+    a.merge(b);
+    EXPECT_EQ(a.get("cycles"), 15u);
+    EXPECT_EQ(a.get("insts"), 3u);
+    EXPECT_EQ(a.get("misses"), 7u);
+    EXPECT_EQ(b.get("cycles"), 5u);
+
+    // Const-correct range iteration.
+    const StatGroup &view = a;
+    std::uint64_t total = 0;
+    for (const auto &[stat, value] : view)
+        total += value;
+    EXPECT_EQ(total, 25u);
+}
+
+} // namespace
+} // namespace liquid::lab

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * liquid-lab: sharded experiment orchestration for the paper's
+ * evaluation matrix.
+ *
+ *   liquid-lab list                        # campaigns and job counts
+ *   liquid-lab run --all --jobs 8          # whole matrix -> BENCH_*.json
+ *   liquid-lab run --experiment fig6 --render
+ *   liquid-lab run --all --smoke           # CI-sized matrix
+ *   liquid-lab render BENCH_fig6.json      # paper tables from JSON
+ *   liquid-lab diff BENCH_fig6.json bench/baseline/BENCH_fig6.json
+ *
+ * `run` shards jobs across worker threads (default: all cores) and
+ * serves unchanged configurations from a content-addressed on-disk
+ * cache. `diff` exits nonzero when a metric regressed past tolerance,
+ * making it a CI gate.
+ */
+
+#include <chrono>
+#include <filesystem>
+#include <iostream>
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "lab/diff.hh"
+#include "lab/experiments.hh"
+#include "lab/runner.hh"
+
+using namespace liquid;
+using namespace liquid::lab;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cout <<
+        "usage: liquid-lab <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  list                       show campaigns, jobs, workloads\n"
+        "  run                        run experiments, write BENCH_*.json\n"
+        "  render <file>...           render paper tables from results\n"
+        "  diff <results> <baseline>  regression gate (nonzero on fail)\n"
+        "\n"
+        "run options:\n"
+        "  --experiment NAME   campaign to run (repeatable)\n"
+        "  --all               every campaign (default)\n"
+        "  --jobs N            worker threads (default: all cores)\n"
+        "  --out DIR           output directory (default: .)\n"
+        "  --cache DIR         result cache (default: OUT/.liquid-lab-cache)\n"
+        "  --no-cache          always simulate\n"
+        "  --smoke             reduced trip counts (the CI matrix)\n"
+        "  --filter REGEX      only jobs whose key matches\n"
+        "  --render            also print the paper tables\n"
+        "  --progress          one line per finished job\n"
+        "\n"
+        "diff options:\n"
+        "  --tol PCT           cycle tolerance in percent (default: 2)\n";
+}
+
+int
+cmdList(bool smoke)
+{
+    std::cout << "campaigns (" << (smoke ? "smoke" : "full")
+              << " matrix):\n";
+    std::size_t total = 0;
+    for (const auto &campaign : standardCampaigns(smoke)) {
+        const std::size_t n = campaign.matrix.expand().size();
+        total += n;
+        std::cout << "  " << campaign.name << "  -> "
+                  << campaign.outputFile << "  (" << n << " jobs)\n";
+    }
+    std::cout << "total: " << total << " jobs\n\nworkloads:\n";
+    for (const auto &name : suiteWorkloadNames())
+        std::cout << "  " << name << '\n';
+    return 0;
+}
+
+struct RunOptions
+{
+    std::vector<std::string> experiments;
+    unsigned jobs = 0;
+    std::string out = ".";
+    std::string cacheDir;
+    bool noCache = false;
+    bool smoke = false;
+    std::string filter;
+    bool render = false;
+    bool progress = false;
+};
+
+int
+cmdRun(const RunOptions &opt)
+{
+    std::vector<Campaign> campaigns;
+    if (opt.experiments.empty()) {
+        campaigns = standardCampaigns(opt.smoke);
+    } else {
+        for (const auto &name : opt.experiments)
+            campaigns.push_back(campaignByName(name, opt.smoke));
+    }
+
+    std::filesystem::create_directories(opt.out);
+    const std::string cacheDir =
+        opt.noCache ? ""
+                    : (opt.cacheDir.empty()
+                           ? opt.out + "/.liquid-lab-cache"
+                           : opt.cacheDir);
+    const ResultCache cache(cacheDir);
+    Runner runner(opt.jobs);
+
+    bool shapesOk = true;
+    for (const auto &campaign : campaigns) {
+        std::vector<Job> jobs = campaign.matrix.expand();
+        if (!opt.filter.empty()) {
+            const std::regex re(opt.filter);
+            std::erase_if(jobs, [&](const Job &job) {
+                return !std::regex_search(job.key(), re);
+            });
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        RunnerStats stats;
+        std::function<void(const JobResult &)> progress;
+        std::size_t done = 0;
+        if (opt.progress) {
+            const std::size_t n = jobs.size();
+            progress = [&done, n](const JobResult &r) {
+                std::cerr << "  [" << ++done << '/' << n << "] "
+                          << r.job.key()
+                          << (r.fromCache ? " (cached)" : "") << '\n';
+            };
+        }
+        ResultSet results =
+            runner.run(jobs, cache.enabled() ? &cache : nullptr,
+                       &stats, std::move(progress));
+        const double secs =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+
+        const std::string path = opt.out + "/" + campaign.outputFile;
+        results.writeFile(path);
+        std::cout << campaign.name << ": " << stats.jobs << " jobs ("
+                  << stats.simulations << " simulated, "
+                  << stats.cacheHits << " cached, " << stats.steals
+                  << " stolen) on " << runner.workers()
+                  << " workers in " << std::fixed
+                  << std::setprecision(2) << secs << "s -> " << path
+                  << '\n';
+
+        if (opt.render && campaign.render) {
+            std::cout << '\n';
+            if (!campaign.render(std::cout, results))
+                shapesOk = false;
+            std::cout << '\n';
+        }
+    }
+    return shapesOk ? 0 : 1;
+}
+
+int
+cmdRender(const std::vector<std::string> &files)
+{
+    bool ok = true;
+    for (const auto &file : files) {
+        const ResultSet results = ResultSet::readFile(file);
+        bool rendered = false;
+        for (const auto &campaign : standardCampaigns(false)) {
+            const bool present = std::any_of(
+                results.results().begin(), results.results().end(),
+                [&](const JobResult &r) {
+                    return r.job.experiment == campaign.name;
+                });
+            if (!present)
+                continue;
+            rendered = true;
+            if (!campaign.render(std::cout, results))
+                ok = false;
+            std::cout << '\n';
+        }
+        if (!rendered) {
+            std::cerr << file
+                      << ": no known experiment in result set\n";
+            ok = false;
+        }
+    }
+    return ok ? 0 : 1;
+}
+
+int
+cmdDiff(const std::string &currentFile, const std::string &baselineFile,
+        double tolPct)
+{
+    const ResultSet current = ResultSet::readFile(currentFile);
+    const ResultSet baseline = ResultSet::readFile(baselineFile);
+    DiffOptions options;
+    options.cycleTolerance = tolPct / 100.0;
+    const DiffReport report = diffResults(baseline, current, options);
+
+    std::cout << "compared " << report.jobsCompared
+              << " jobs against " << baselineFile << " (tolerance "
+              << tolPct << "%)\n";
+    for (const auto &e : report.notes)
+        std::cout << "  note: " << e.describe() << '\n';
+    for (const auto &e : report.improvements)
+        std::cout << "  improvement: " << e.describe() << '\n';
+    for (const auto &e : report.regressions)
+        std::cout << "  REGRESSION: " << e.describe() << '\n';
+    if (!report.ok()) {
+        std::cout << "FAIL: " << report.regressions.size()
+                  << " regression(s)\n";
+        return 1;
+    }
+    std::cout << "OK\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty() || args[0] == "-h" || args[0] == "--help") {
+        usage();
+        return args.empty() ? 2 : 0;
+    }
+    const std::string cmd = args[0];
+
+    try {
+        auto value = [&](std::size_t &i) -> std::string {
+            if (i + 1 >= args.size())
+                fatal("missing value for ", args[i]);
+            return args[++i];
+        };
+
+        if (cmd == "list") {
+            bool smoke = false;
+            for (std::size_t i = 1; i < args.size(); ++i) {
+                if (args[i] == "--smoke")
+                    smoke = true;
+                else
+                    fatal("unknown option '", args[i], "'");
+            }
+            return cmdList(smoke);
+        }
+
+        if (cmd == "run") {
+            RunOptions opt;
+            for (std::size_t i = 1; i < args.size(); ++i) {
+                const std::string &a = args[i];
+                if (a == "--experiment")
+                    opt.experiments.push_back(value(i));
+                else if (a == "--all")
+                    opt.experiments.clear();
+                else if (a == "--jobs")
+                    opt.jobs =
+                        static_cast<unsigned>(std::stoul(value(i)));
+                else if (a == "--out")
+                    opt.out = value(i);
+                else if (a == "--cache")
+                    opt.cacheDir = value(i);
+                else if (a == "--no-cache")
+                    opt.noCache = true;
+                else if (a == "--smoke")
+                    opt.smoke = true;
+                else if (a == "--filter")
+                    opt.filter = value(i);
+                else if (a == "--render")
+                    opt.render = true;
+                else if (a == "--progress")
+                    opt.progress = true;
+                else
+                    fatal("unknown option '", a, "'");
+            }
+            return cmdRun(opt);
+        }
+
+        if (cmd == "render") {
+            std::vector<std::string> files(args.begin() + 1,
+                                           args.end());
+            if (files.empty())
+                fatal("render: no input files");
+            return cmdRender(files);
+        }
+
+        if (cmd == "diff") {
+            std::vector<std::string> files;
+            double tolPct = 2.0;
+            for (std::size_t i = 1; i < args.size(); ++i) {
+                if (args[i] == "--tol")
+                    tolPct = std::stod(value(i));
+                else
+                    files.push_back(args[i]);
+            }
+            if (files.size() != 2)
+                fatal("diff: expected <results> <baseline>");
+            return cmdDiff(files[0], files[1], tolPct);
+        }
+
+        std::cerr << "unknown command '" << cmd << "'\n";
+        usage();
+        return 2;
+    } catch (const FatalError &e) {
+        std::cerr << e.what() << '\n';
+        return 2;
+    } catch (const PanicError &e) {
+        std::cerr << e.what() << '\n';
+        return 1;
+    }
+}

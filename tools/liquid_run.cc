@@ -11,16 +11,24 @@
  *   liquid-run --trace --ucode prog.s      # full visibility
  *   liquid-run --pretranslate prog.s       # offline binary translation
  *   liquid-run --sweep prog.s              # widths 2/4/8/16 summary
+ *
+ * Suite workloads can be run directly, without writing assembly:
+ *
+ *   liquid-run --list                      # suite benchmark names
+ *   liquid-run --filter 'mpeg2.*'          # run matching benchmarks
+ *   liquid-run --filter fir --sweep        # width sweep on one kernel
  */
 
 #include <fstream>
 #include <iostream>
+#include <regex>
 #include <set>
 #include <sstream>
 #include <string>
 
 #include "asm/assembler.hh"
 #include "sim/system.hh"
+#include "workloads/workload.hh"
 
 using namespace liquid;
 
@@ -39,6 +47,8 @@ struct Options
     bool pretranslate = false;
     bool sweep = false;
     Cycles latency = 1;
+    bool list = false;
+    std::string filter;
 };
 
 void
@@ -54,7 +64,10 @@ usage()
         "  --stats                       dump all statistic counters\n"
         "  --ucode                       print translated microcode\n"
         "  --listing                     print the assembled program\n"
-        "  --sweep                       run at widths 2/4/8/16\n";
+        "  --sweep                       run at widths 2/4/8/16\n"
+        "  --list                        print suite workload names\n"
+        "  --filter REGEX                run suite workloads matching\n"
+        "                                REGEX instead of a .s file\n";
 }
 
 bool
@@ -106,6 +119,15 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.pretranslate = true;
         } else if (arg == "--sweep") {
             opt.sweep = true;
+        } else if (arg == "--list") {
+            opt.list = true;
+        } else if (arg == "--filter") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.filter = v;
+        } else if (arg.rfind("--filter=", 0) == 0) {
+            opt.filter = arg.substr(9);
         } else if (arg == "-h" || arg == "--help") {
             usage();
             std::exit(0);
@@ -119,11 +141,81 @@ parseArgs(int argc, char **argv, Options &opt)
             return false;
         }
     }
-    if (opt.file.empty()) {
+    if (opt.file.empty() && !opt.list && opt.filter.empty()) {
         usage();
         return false;
     }
     return true;
+}
+
+/** Emission mode matching an execution mode. */
+EmitOptions::Mode
+emitModeFor(ExecMode mode)
+{
+    switch (mode) {
+      case ExecMode::ScalarBaseline:
+        return EmitOptions::Mode::InlineScalar;
+      case ExecMode::Liquid:
+        return EmitOptions::Mode::Scalarized;
+      case ExecMode::NativeSimd:
+        return EmitOptions::Mode::Native;
+    }
+    panic("unknown ExecMode");
+}
+
+/** Run the suite workloads matching opt.filter (single-kernel
+ *  investigation without editing source). */
+int
+runFiltered(const Options &opt)
+{
+    const std::regex re(opt.filter);
+    bool matched = false;
+    for (const auto &wl : makeSuite()) {
+        if (!std::regex_search(wl->name(), re))
+            continue;
+        matched = true;
+        std::cout << "== " << wl->name() << '\n';
+
+        auto cyclesFor = [&](ExecMode mode, unsigned width) {
+            const auto build = wl->build(emitModeFor(mode), width);
+            SystemConfig config = SystemConfig::make(mode, width);
+            config.translator.latencyPerInst = opt.latency;
+            config.pretranslate = opt.pretranslate;
+            System sys(config, build.prog);
+            if (opt.trace)
+                sys.core().setTrace(&std::cout);
+            sys.run();
+            if (opt.stats) {
+                sys.core().stats().dump(std::cout);
+                if (mode == ExecMode::Liquid)
+                    sys.translator().stats().dump(std::cout);
+            }
+            return sys.cycles();
+        };
+
+        if (opt.sweep) {
+            const Cycles base =
+                cyclesFor(ExecMode::ScalarBaseline, 0);
+            std::cout << "  scalar baseline: " << base << " cycles\n";
+            for (unsigned width : {2u, 4u, 8u, 16u}) {
+                const Cycles c = cyclesFor(ExecMode::Liquid, width);
+                std::cout << "  liquid W=" << width << ":     " << c
+                          << " cycles  ("
+                          << static_cast<double>(base) /
+                                 static_cast<double>(c)
+                          << "x)\n";
+            }
+        } else {
+            std::cout << "  cycles: "
+                      << cyclesFor(opt.mode, opt.width) << '\n';
+        }
+    }
+    if (!matched) {
+        std::cerr << "no suite workload matches '" << opt.filter
+                  << "' (see --list)\n";
+        return 1;
+    }
+    return 0;
 }
 
 Cycles
@@ -194,6 +286,23 @@ main(int argc, char **argv)
     Options opt;
     if (!parseArgs(argc, argv, opt))
         return 2;
+
+    if (opt.list) {
+        for (const auto &wl : makeSuite())
+            std::cout << wl->name() << '\n';
+        return 0;
+    }
+    if (!opt.filter.empty()) {
+        try {
+            return runFiltered(opt);
+        } catch (const FatalError &e) {
+            std::cerr << e.what() << '\n';
+            return 1;
+        } catch (const PanicError &e) {
+            std::cerr << e.what() << '\n';
+            return 1;
+        }
+    }
 
     std::ifstream in(opt.file);
     if (!in) {
