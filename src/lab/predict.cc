@@ -1,0 +1,192 @@
+#include "lab/predict.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "scalarizer/scalarizer.hh"
+
+namespace liquid::lab
+{
+
+std::map<unsigned, double>
+aggregateScanSpeedups(const ScanReport &report)
+{
+    std::map<unsigned, double> scalar;
+    std::map<unsigned, double> simd;
+    for (const ScanRegion &region : report.regions) {
+        if (!region.candidate)
+            continue;
+        for (const WidthPrediction &p : region.predictions) {
+            if (p.report.verdict != Severity::Ok)
+                continue;
+            scalar[p.requestedWidth] += p.report.predictedScalarCycles;
+            simd[p.requestedWidth] += p.report.predictedSimdCycles;
+        }
+    }
+    std::map<unsigned, double> out;
+    for (const auto &[w, sc] : scalar) {
+        const double sd = simd[w];
+        if (sd > 0.0)
+            out[w] = sc / sd;
+    }
+    return out;
+}
+
+WorkloadPrediction
+predictWorkload(const std::string &name, const ScanOptions &opts)
+{
+    std::unique_ptr<Workload> wl;
+    for (auto &candidate : makeSuite()) {
+        if (candidate->name() == name)
+            wl = std::move(candidate);
+    }
+    if (!wl)
+        fatal("predict: unknown workload '", name, "'");
+
+    // Scalarized, hints stripped: the scan must rediscover the
+    // regions from the bl/ret convention alone.
+    const Workload::Build build =
+        wl->build(EmitOptions::Mode::Scalarized, 8, /*hinted=*/false);
+
+    WorkloadPrediction pred;
+    pred.workload = name;
+    pred.speedupByWidth =
+        aggregateScanSpeedups(scanProgram(build.prog, opts));
+    return pred;
+}
+
+std::vector<WorkloadPrediction>
+predictSuite(const ScanOptions &opts)
+{
+    std::vector<WorkloadPrediction> preds;
+    for (const std::string &name : suiteWorkloadNames())
+        preds.push_back(predictWorkload(name, opts));
+    return preds;
+}
+
+unsigned
+tagPredictions(ResultSet &set,
+               const std::vector<WorkloadPrediction> &preds)
+{
+    unsigned tagged = 0;
+    for (JobResult &r : set.results()) {
+        if (r.job.mode != ExecMode::Liquid)
+            continue;
+        for (const WorkloadPrediction &p : preds) {
+            if (p.workload != r.job.workload)
+                continue;
+            auto it = p.speedupByWidth.find(r.job.width);
+            if (it != p.speedupByWidth.end()) {
+                r.predictedSpeedup = it->second;
+                ++tagged;
+            }
+        }
+    }
+    return tagged;
+}
+
+ValidationSummary
+validatePredictions(const std::vector<WorkloadPrediction> &preds,
+                    const ResultSet &measured)
+{
+    ValidationSummary out;
+
+    for (const JobResult &r : measured.results()) {
+        if (r.job.mode != ExecMode::Liquid || r.job.warmStart ||
+            !(r.job.over == ConfigOverrides{}))
+            continue;
+
+        const WorkloadPrediction *pred = nullptr;
+        for (const WorkloadPrediction &p : preds) {
+            if (p.workload == r.job.workload)
+                pred = &p;
+        }
+        if (!pred)
+            continue;
+        auto it = pred->speedupByWidth.find(r.job.width);
+        if (it == pred->speedupByWidth.end())
+            continue;
+
+        // The scalar twin shares every key axis except mode/width.
+        Job twin = r.job;
+        twin.mode = ExecMode::ScalarBaseline;
+        twin.width = 0;
+        twin.warmStart = false;
+        const JobResult *base = measured.find(twin.key());
+        if (!base || r.outcome.cycles == 0)
+            continue;
+
+        ValidationRow row;
+        row.workload = r.job.workload;
+        row.width = r.job.width;
+        row.predicted = it->second;
+        row.measured = static_cast<double>(base->outcome.cycles) /
+                       static_cast<double>(r.outcome.cycles);
+        row.jobKey = r.job.key();
+        out.rows.push_back(std::move(row));
+    }
+
+    std::sort(out.rows.begin(), out.rows.end(),
+              [](const ValidationRow &a, const ValidationRow &b) {
+                  if (a.workload != b.workload)
+                      return a.workload < b.workload;
+                  return a.width < b.width;
+              });
+
+    double errSum = 0.0;
+    for (const ValidationRow &row : out.rows) {
+        const double err = std::fabs(row.predicted - row.measured);
+        errSum += err;
+        out.maxAbsError = std::max(out.maxAbsError, err);
+    }
+    if (!out.rows.empty())
+        out.meanAbsError = errSum / static_cast<double>(out.rows.size());
+
+    // Rank concordance per workload: a pair is discordant only when
+    // both sides order the two widths strictly and oppositely. Ties
+    // are common and meaningful (e.g. a width hint or trip count caps
+    // the binding, so w8 and w16 measure identically) and never count
+    // against agreement.
+    constexpr double tol = 1e-6;
+    for (std::size_t i = 0; i < out.rows.size(); ++i) {
+        for (std::size_t j = i + 1; j < out.rows.size(); ++j) {
+            const ValidationRow &a = out.rows[i];
+            const ValidationRow &b = out.rows[j];
+            if (a.workload != b.workload)
+                continue;
+            ++out.comparablePairs;
+            const double dp = a.predicted - b.predicted;
+            const double dm = a.measured - b.measured;
+            if ((dp > tol && dm < -tol) || (dp < -tol && dm > tol))
+                ++out.discordantPairs;
+        }
+    }
+    return out;
+}
+
+json::Value
+ValidationSummary::toJson() const
+{
+    json::Value v = json::Value::object();
+    v.set("rankAgreement", rankAgreement());
+    v.set("comparablePairs", comparablePairs);
+    v.set("discordantPairs", discordantPairs);
+    v.set("meanAbsError", meanAbsError);
+    v.set("maxAbsError", maxAbsError);
+    json::Value rowsJson = json::Value::array();
+    for (const ValidationRow &row : rows) {
+        json::Value r = json::Value::object();
+        r.set("workload", row.workload);
+        r.set("width", row.width);
+        r.set("predicted", row.predicted);
+        r.set("measured", row.measured);
+        r.set("absError", std::fabs(row.predicted - row.measured));
+        r.set("jobKey", row.jobKey);
+        rowsJson.push(std::move(r));
+    }
+    v.set("rows", std::move(rowsJson));
+    return v;
+}
+
+} // namespace liquid::lab

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The prediction/measurement join between liquid-scan and liquid-lab.
+ *
+ * liquid-scan produces per-region, per-width static speedups from a
+ * binary alone; liquid-lab measures whole-program cycles. This layer
+ * connects the two: it aggregates scan reports into one predicted
+ * speedup per (workload, width), tags lab results with that number
+ * (`liquid-lab run --predict` writes it into the JSON so downstream
+ * consumers join on the job key without re-running campaigns), and
+ * computes the differential validation the ISSUE requires — predicted
+ * and measured speedups must agree in rank order across widths for
+ * every workload, with absolute errors reported but not gated (the
+ * prediction is region-level, the measurement program-level, so
+ * Amdahl dilution shifts magnitudes without reordering widths).
+ */
+
+#ifndef LIQUID_LAB_PREDICT_HH
+#define LIQUID_LAB_PREDICT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lab/results.hh"
+#include "verifier/scan.hh"
+
+namespace liquid::lab
+{
+
+/** Aggregate static prediction for one workload. */
+struct WorkloadPrediction
+{
+    std::string workload;
+    /**
+     * Requested accelerator width -> aggregate predicted speedup over
+     * the workload's committed regions (sum of predicted scalar
+     * cycles / sum of predicted SIMD cycles). Widths where no region
+     * commits are absent.
+     */
+    std::map<unsigned, double> speedupByWidth;
+};
+
+/**
+ * Collapse one scan report into a per-width aggregate speedup: at
+ * each requested width, candidate regions whose prediction verdict is
+ * Ok contribute their cost-model scalar and SIMD cycles.
+ */
+std::map<unsigned, double>
+aggregateScanSpeedups(const ScanReport &report);
+
+/**
+ * Scan workload @p name — built scalarized but with NO bl.simd hints,
+ * so the scan discovers the regions itself — and aggregate. fatal()
+ * on unknown workload names.
+ */
+WorkloadPrediction predictWorkload(const std::string &name,
+                                   const ScanOptions &opts);
+
+/** predictWorkload() over the paper's whole 15-benchmark suite. */
+std::vector<WorkloadPrediction> predictSuite(const ScanOptions &opts);
+
+/**
+ * Tag every Liquid-mode result in @p set whose (workload, width) has
+ * a prediction. Returns the number of results tagged.
+ */
+unsigned tagPredictions(ResultSet &set,
+                        const std::vector<WorkloadPrediction> &preds);
+
+/** One joined (workload, width) pair. */
+struct ValidationRow
+{
+    std::string workload;
+    unsigned width = 0;
+    double predicted = 0.0;   ///< scan aggregate speedup
+    double measured = 0.0;    ///< scalar cycles / liquid cycles
+    std::string jobKey;       ///< measured liquid job joined on
+};
+
+/** The differential verdict. */
+struct ValidationSummary
+{
+    std::vector<ValidationRow> rows;
+
+    /** Same-workload width pairs with both values present. */
+    unsigned comparablePairs = 0;
+    /** Pairs where prediction and measurement strictly disagree on
+     *  which width is faster (ties on either side never count). */
+    unsigned discordantPairs = 0;
+
+    double meanAbsError = 0.0;
+    double maxAbsError = 0.0;
+
+    bool rankAgreement() const { return discordantPairs == 0; }
+
+    json::Value toJson() const;
+};
+
+/**
+ * Join @p preds against measured lab results: each Liquid, non-ideal,
+ * default-config result with a matching prediction pairs with its
+ * ScalarBaseline twin (same experiment/workload/reps) to form one
+ * ValidationRow; rank concordance is then checked per workload across
+ * widths.
+ */
+ValidationSummary
+validatePredictions(const std::vector<WorkloadPrediction> &preds,
+                    const ResultSet &measured);
+
+} // namespace liquid::lab
+
+#endif // LIQUID_LAB_PREDICT_HH

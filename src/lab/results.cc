@@ -37,6 +37,9 @@ JobResult::toJson() const
     if (!over.members().empty())
         v.set("overrides", std::move(over));
 
+    if (predictedSpeedup > 0.0)
+        v.set("predictedSpeedup", predictedSpeedup);
+
     v.set("cycles", outcome.cycles);
     v.set("translations", outcome.translations);
     v.set("aborts", outcome.aborts);
@@ -86,6 +89,9 @@ JobResult::fromJson(const json::Value &v)
     if (key != r.job.key())
         fatal("results: job key '", key, "' does not match its fields (",
               r.job.key(), ")");
+
+    if (const json::Value *p = v.find("predictedSpeedup"))
+        r.predictedSpeedup = p->asDouble();
 
     r.outcome.cycles = v.at("cycles").asUint();
     r.outcome.translations = v.at("translations").asUint();

@@ -31,6 +31,13 @@ struct JobResult
 {
     Job job;
     RunOutcome outcome;
+    /**
+     * liquid-scan's static speedup prediction for this job's workload
+     * at this job's width (0 = untagged). Written by `liquid-lab run
+     * --predict` so `liquid-scan --validate` can join prediction and
+     * measurement on the job key without re-running the campaign.
+     */
+    double predictedSpeedup = 0.0;
     /** Served from the on-disk result cache (not serialized). */
     bool fromCache = false;
 
@@ -48,6 +55,8 @@ class ResultSet
     void sortByKey();
 
     const std::vector<JobResult> &results() const { return results_; }
+    /** Mutable access (the predict layer tags results in place). */
+    std::vector<JobResult> &results() { return results_; }
     std::size_t size() const { return results_.size(); }
 
     /** Lookup by canonical key; nullptr when absent. */

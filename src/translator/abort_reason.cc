@@ -10,102 +10,171 @@ namespace liquid
 namespace
 {
 
+/**
+ * The single source of truth for everything rendered about a reason:
+ * canonical name (stats keys, JSON), class, and the one-line
+ * description shared by translator stats, verifier diagnostics and
+ * the scan report.
+ */
 struct ReasonInfo
 {
     AbortReason reason;
     const char *name;
     ReasonClass cls;
+    const char *desc;
 };
 
 constexpr std::array<ReasonInfo,
                      static_cast<std::size_t>(AbortReason::NumReasons)>
     reasonTable{{
-        {AbortReason::None, "none", ReasonClass::None},
+        {AbortReason::None, "none", ReasonClass::None,
+         "translation committed"},
 
-        {AbortReason::NestedCall, "nestedCall", ReasonClass::Structure},
+        {AbortReason::NestedCall, "nestedCall", ReasonClass::Structure,
+         "a bl inside the region: outlined loops never nest calls"},
         {AbortReason::ForwardBranch, "forwardBranch",
-         ReasonClass::Structure},
+         ReasonClass::Structure,
+         "a forward branch inside the region body"},
         {AbortReason::RetInsideLoop, "retInsideLoop",
-         ReasonClass::Structure},
+         ReasonClass::Structure,
+         "a ret between the loop head and its back edge"},
         {AbortReason::BackedgeTargetUnseen, "backedgeTargetUnseen",
-         ReasonClass::Structure},
+         ReasonClass::Structure,
+         "the back edge targets an instruction the capture never saw"},
         {AbortReason::ShapeMismatch, "shapeMismatch",
-         ReasonClass::Structure},
+         ReasonClass::Structure,
+         "region shape outside the single-loop do-while format"},
         {AbortReason::VectorOutsideLoop, "vectorOutsideLoop",
-         ReasonClass::Structure},
+         ReasonClass::Structure,
+         "a convertible instruction before the loop body"},
         {AbortReason::DanglingBranch, "danglingBranch",
-         ReasonClass::Structure},
+         ReasonClass::Structure,
+         "a conditional branch with no in-region target"},
         {AbortReason::UnindexedInst, "unindexedInst",
-         ReasonClass::Structure},
+         ReasonClass::Structure,
+         "a loop-body instruction with no lane mapping"},
         {AbortReason::IdiomIncomplete, "idiomIncomplete",
-         ReasonClass::Structure},
+         ReasonClass::Structure,
+         "the region ended inside an unfinished idiom"},
         {AbortReason::UnfinalizedPatches, "unfinalizedPatches",
-         ReasonClass::Structure},
+         ReasonClass::Structure,
+         "microcode patches left unresolved at commit"},
 
-        {AbortReason::VectorOpcode, "vectorOpcode", ReasonClass::Opcode},
+        {AbortReason::VectorOpcode, "vectorOpcode", ReasonClass::Opcode,
+         "an explicit vector instruction in scalar code"},
         {AbortReason::UntranslatableOpcode, "untranslatableOpcode",
-         ReasonClass::Opcode},
+         ReasonClass::Opcode,
+         "an opcode outside the Table 1 conversion rules"},
         {AbortReason::ConditionalMov, "conditionalMov",
-         ReasonClass::Opcode},
+         ReasonClass::Opcode,
+         "a conditional mov with no select equivalent"},
         {AbortReason::MovFromNonScalar, "movFromNonScalar",
-         ReasonClass::Opcode},
+         ReasonClass::Opcode,
+         "mov source register carries per-lane state"},
         {AbortReason::LoadWithoutIndex, "loadWithoutIndex",
-         ReasonClass::Opcode},
-        {AbortReason::LoadBadIndex, "loadBadIndex", ReasonClass::Opcode},
+         ReasonClass::Opcode,
+         "a loop-body load with no induction-variable index"},
+        {AbortReason::LoadBadIndex, "loadBadIndex", ReasonClass::Opcode,
+         "load index register is not the loop induction variable"},
         {AbortReason::StoreWithoutIndex, "storeWithoutIndex",
-         ReasonClass::Opcode},
+         ReasonClass::Opcode,
+         "a loop-body store with no induction-variable index"},
         {AbortReason::StoreScalarData, "storeScalarData",
-         ReasonClass::Opcode},
+         ReasonClass::Opcode,
+         "store data register holds a loop-invariant scalar"},
         {AbortReason::StoreBadIndex, "storeBadIndex",
-         ReasonClass::Opcode},
+         ReasonClass::Opcode,
+         "store index register is not the loop induction variable"},
         {AbortReason::VectorCompare, "vectorCompare",
-         ReasonClass::Opcode},
+         ReasonClass::Opcode,
+         "a compare on per-lane values (flags stay scalar)"},
         {AbortReason::UnsupportedReduction, "unsupportedReduction",
-         ReasonClass::Opcode},
+         ReasonClass::Opcode,
+         "a cross-lane reduction outside the supported set"},
         {AbortReason::NoVectorEquivalent, "noVectorEquivalent",
-         ReasonClass::Opcode},
+         ReasonClass::Opcode,
+         "the scalar opcode has no vector counterpart"},
         {AbortReason::VectorScalarMix, "vectorScalarMix",
-         ReasonClass::Opcode},
+         ReasonClass::Opcode,
+         "an operation mixes per-lane and scalar operands"},
         {AbortReason::OffsetsInArithmetic, "offsetsInArithmetic",
-         ReasonClass::Opcode},
-        {AbortReason::IvArithmetic, "ivArithmetic", ReasonClass::Opcode},
+         ReasonClass::Opcode,
+         "permutation offsets flowed into lane arithmetic"},
+        {AbortReason::IvArithmetic, "ivArithmetic", ReasonClass::Opcode,
+         "the induction variable flowed into lane arithmetic"},
 
         {AbortReason::IdiomNoProducer, "idiomNoProducer",
-         ReasonClass::Idiom},
-        {AbortReason::IdiomShape, "idiomShape", ReasonClass::Idiom},
+         ReasonClass::Idiom,
+         "saturation clamp with no tracked producer"},
+        {AbortReason::IdiomShape, "idiomShape", ReasonClass::Idiom,
+         "saturation idiom lost its compare/select shape"},
         {AbortReason::IdiomBadProducer, "idiomBadProducer",
-         ReasonClass::Idiom},
+         ReasonClass::Idiom,
+         "saturation clamp bound to an unsupported producer"},
 
         {AbortReason::ValueTooWide, "valueTooWide",
-         ReasonClass::Dataflow},
+         ReasonClass::Dataflow,
+         "a loaded value too wide for per-lane tracking"},
         {AbortReason::AddressMismatch, "addressMismatch",
-         ReasonClass::Dataflow},
-        {AbortReason::IvMismatch, "ivMismatch", ReasonClass::Dataflow},
+         ReasonClass::Dataflow,
+         "lane addresses do not advance by one element per lane"},
+        {AbortReason::IvMismatch, "ivMismatch", ReasonClass::Dataflow,
+         "the induction variable did not step by one per iteration"},
         {AbortReason::MemoryDependence, "memoryDependence",
-         ReasonClass::Dataflow},
+         ReasonClass::Dataflow,
+         "a load and store overlap within the vector group"},
 
-        {AbortReason::TripCount, "tripCount", ReasonClass::Width},
+        {AbortReason::TripCount, "tripCount", ReasonClass::Width,
+         "iteration count not divisible by the binding width"},
         {AbortReason::UnsupportedShuffle, "unsupportedShuffle",
-         ReasonClass::Width},
+         ReasonClass::Width,
+         "offset pattern matches no vperm at this width"},
         {AbortReason::ValueMismatch, "valueMismatch",
-         ReasonClass::Width},
+         ReasonClass::Width,
+         "lane values break the constant-vector period at this width"},
         {AbortReason::LanesIncomplete, "lanesIncomplete",
-         ReasonClass::Width},
+         ReasonClass::Width,
+         "the capture ended before filling every lane"},
 
         {AbortReason::UcodeOverflow, "ucodeOverflow",
-         ReasonClass::Capacity},
+         ReasonClass::Capacity,
+         "the microcode buffer overflowed"},
 
-        {AbortReason::Interrupt, "interrupt", ReasonClass::Runtime},
+        {AbortReason::Interrupt, "interrupt", ReasonClass::Runtime,
+         "an external interrupt flushed the capture"},
     }};
+
+/**
+ * The table is indexed by the enum value; prove at compile time that
+ * every enum value is covered, in order, so lookups never need a
+ * runtime ordering check.
+ */
+constexpr bool
+tableCoversEveryReason()
+{
+    for (std::size_t i = 0; i < reasonTable.size(); ++i) {
+        if (static_cast<std::size_t>(reasonTable[i].reason) != i)
+            return false;
+        if (reasonTable[i].name == nullptr ||
+            reasonTable[i].desc == nullptr)
+            return false;
+    }
+    return true;
+}
+
+static_assert(reasonTable.size() ==
+                  static_cast<std::size_t>(AbortReason::NumReasons),
+              "abort-reason table must have one entry per enum value");
+static_assert(tableCoversEveryReason(),
+              "abort-reason table entries must appear in enum order "
+              "with a name and description each");
 
 const ReasonInfo &
 info(AbortReason reason)
 {
     const auto idx = static_cast<std::size_t>(reason);
     LIQUID_ASSERT(idx < reasonTable.size(), "bad abort reason");
-    const ReasonInfo &entry = reasonTable[idx];
-    LIQUID_ASSERT(entry.reason == reason, "abort-reason table disorder");
-    return entry;
+    return reasonTable[idx];
 }
 
 } // namespace
@@ -114,6 +183,12 @@ const char *
 abortReasonName(AbortReason reason)
 {
     return info(reason).name;
+}
+
+const char *
+abortReasonDescription(AbortReason reason)
+{
+    return info(reason).desc;
 }
 
 AbortReason

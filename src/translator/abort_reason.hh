@@ -101,6 +101,15 @@ enum class ReasonClass : std::uint8_t
 /** Canonical string name, e.g. "tripCount" (stats key "abort.<name>"). */
 const char *abortReasonName(AbortReason reason);
 
+/**
+ * One-line human description of the reason, shared by the translator
+ * statistics, the verifier diagnostics and the scan report so every
+ * tool explains an abort in the same words. Rendered from the same
+ * table as abortReasonName(); a static_assert guarantees the table
+ * covers every enum value.
+ */
+const char *abortReasonDescription(AbortReason reason);
+
 /** Parse a canonical name; returns NumReasons when unknown. */
 AbortReason parseAbortReason(const std::string &name);
 

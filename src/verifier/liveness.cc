@@ -1,0 +1,297 @@
+#include "verifier/liveness.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace liquid
+{
+
+unsigned
+RegSet::count() const
+{
+    unsigned n = 0;
+    for (std::uint64_t b = bits_; b; b &= b - 1)
+        ++n;
+    return n;
+}
+
+std::vector<RegId>
+RegSet::regs() const
+{
+    std::vector<RegId> out;
+    for (unsigned flat = 0; flat < 64; ++flat) {
+        if (bits_ & (1ull << flat))
+            out.push_back(RegId::fromFlat(flat));
+    }
+    return out;
+}
+
+RegSet
+RegSet::ofClass(RegClass cls) const
+{
+    RegSet out;
+    for (const RegId reg : regs()) {
+        if (reg.cls() == cls)
+            out.add(reg);
+    }
+    return out;
+}
+
+bool
+RegSet::anyVector() const
+{
+    for (const RegId reg : regs()) {
+        if (reg.isVector())
+            return true;
+    }
+    return false;
+}
+
+std::string
+RegSet::str() const
+{
+    if (empty())
+        return "-";
+    std::ostringstream os;
+    bool first = true;
+    for (const RegId reg : regs()) {
+        os << (first ? "" : ", ") << regName(reg);
+        first = false;
+    }
+    return os.str();
+}
+
+InstEffects
+instEffects(const Inst &inst)
+{
+    InstEffects fx;
+    const OpInfo &info = inst.info();
+
+    switch (inst.op) {
+      case Opcode::Nop:
+      case Opcode::Halt:
+      case Opcode::B:
+      case Opcode::Bl:
+      case Opcode::Ret:
+        return fx;
+
+      case Opcode::Cmp:
+        fx.uses.add(inst.src1);
+        if (!inst.hasImm)
+            fx.uses.add(inst.src2);
+        return fx;
+
+      case Opcode::Mov:
+        if (!inst.hasImm)
+            fx.uses.add(inst.src1);
+        fx.defs.add(inst.dst);
+        break;
+
+      default:
+        if (info.isLoad) {
+            fx.uses.add(inst.mem.index);
+            fx.defs.add(inst.dst);
+        } else if (info.isStore) {
+            fx.uses.add(inst.src1);
+            fx.uses.add(inst.mem.index);
+        } else {
+            // Data processing, vperm/vmask, reductions. Reductions
+            // carry dst through src1 (dst = red(dst, src2)), so the
+            // uniform src1/src2 read covers them.
+            fx.uses.add(inst.src1);
+            if (!inst.hasImm)
+                fx.uses.add(inst.src2);
+            fx.defs.add(inst.dst);
+        }
+        break;
+    }
+
+    // A conditional write merges with the old value on the not-taken
+    // path, so the destination is also an input.
+    if (inst.cond != Cond::AL)
+        fx.uses |= fx.defs;
+    return fx;
+}
+
+namespace
+{
+
+/** Liveness transfer of one instruction, applied backward. */
+void
+transferInst(const Inst &inst, const std::map<int, FnSummary> &callees,
+             RegSet &live)
+{
+    if (inst.op == Opcode::Bl) {
+        auto it = callees.find(inst.target);
+        if (it != callees.end()) {
+            live = live.minus(it->second.mayDef);
+            live |= it->second.liveIn;
+        }
+        return;
+    }
+    const InstEffects fx = instEffects(inst);
+    live = live.minus(fx.defs);
+    live |= fx.uses;
+}
+
+} // namespace
+
+Liveness
+Liveness::run(const Program &prog, const RegionCfg &cfg,
+              const std::map<int, FnSummary> &callees,
+              const RegSet &exit_live)
+{
+    Liveness lv;
+    const auto &blocks = cfg.blocks();
+    const auto &code = prog.code();
+    if (blocks.empty())
+        return lv;
+
+    // mayDef: every reachable def plus callee effects.
+    for (const int i : cfg.instructions()) {
+        const Inst &inst = code[static_cast<std::size_t>(i)];
+        if (inst.op == Opcode::Bl) {
+            auto it = callees.find(inst.target);
+            if (it != callees.end())
+                lv.mayDef_ |= it->second.mayDef;
+            continue;
+        }
+        lv.mayDef_ |= instEffects(inst).defs;
+    }
+
+    // Per-block fixpoint: liveOut(b) = U liveIn(succ), region exits
+    // (ret / falls off the text) see exit_live.
+    std::vector<RegSet> blockIn(blocks.size());
+    std::vector<RegSet> blockOut(blocks.size());
+
+    auto blockExits = [&](const BasicBlock &bb) {
+        const Inst &last = code[static_cast<std::size_t>(bb.last)];
+        if (last.op == Opcode::Ret || last.op == Opcode::Halt)
+            return true;
+        // A block with no successors whose path leaves the text.
+        return bb.succs.empty();
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t b = blocks.size(); b-- > 0;) {
+            const BasicBlock &bb = blocks[b];
+            RegSet out;
+            if (blockExits(bb))
+                out = exit_live;
+            for (const int s : bb.succs)
+                out |= blockIn[static_cast<std::size_t>(s)];
+
+            RegSet in = out;
+            for (int i = bb.last; i >= bb.first; --i)
+                transferInst(code[static_cast<std::size_t>(i)],
+                             callees, in);
+
+            if (!(out == blockOut[b]) || !(in == blockIn[b])) {
+                blockOut[b] = out;
+                blockIn[b] = in;
+                changed = true;
+            }
+        }
+    }
+
+    // Materialize per-instruction sets from the solved block frames.
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        const BasicBlock &bb = blocks[b];
+        RegSet live = blockOut[b];
+        for (int i = bb.last; i >= bb.first; --i) {
+            if (!cfg.contains(i))
+                continue;
+            lv.after_[i] = live;
+            transferInst(code[static_cast<std::size_t>(i)], callees,
+                         live);
+            lv.before_[i] = live;
+        }
+    }
+
+    const int entry_block = cfg.blockOf(cfg.entryIndex());
+    if (entry_block >= 0)
+        lv.entryLive_ =
+            blockIn[static_cast<std::size_t>(entry_block)];
+    return lv;
+}
+
+const RegSet &
+Liveness::liveBefore(int index) const
+{
+    auto it = before_.find(index);
+    return it == before_.end() ? emptySet_ : it->second;
+}
+
+const RegSet &
+Liveness::liveAfter(int index) const
+{
+    auto it = after_.find(index);
+    return it == after_.end() ? emptySet_ : it->second;
+}
+
+const RegSet &
+Liveness::entryLiveIn() const
+{
+    return entryLive_;
+}
+
+std::vector<std::vector<bool>>
+blockDominators(const RegionCfg &cfg)
+{
+    const auto &blocks = cfg.blocks();
+    const std::size_t n = blocks.size();
+    std::vector<std::vector<bool>> dom(
+        n, std::vector<bool>(n, true));
+    if (n == 0)
+        return dom;
+
+    const int entry =
+        std::max(cfg.blockOf(cfg.entryIndex()), 0);
+    for (std::size_t b = 0; b < n; ++b) {
+        if (static_cast<int>(b) != entry)
+            continue;
+        dom[b].assign(n, false);
+        dom[b][b] = true;
+    }
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t b = 0; b < n; ++b) {
+            if (static_cast<int>(b) == entry)
+                continue;
+            std::vector<bool> next(n, true);
+            bool any_pred = false;
+            for (const int p : blocks[b].preds) {
+                any_pred = true;
+                const auto &pd = dom[static_cast<std::size_t>(p)];
+                for (std::size_t i = 0; i < n; ++i)
+                    next[i] = next[i] && pd[i];
+            }
+            if (!any_pred)
+                next.assign(n, false);
+            next[b] = true;
+            if (next != dom[b]) {
+                dom[b] = std::move(next);
+                changed = true;
+            }
+        }
+    }
+    return dom;
+}
+
+bool
+loopIsReducible(const RegionCfg &cfg, const CfgLoop &loop,
+                const std::vector<std::vector<bool>> &dominators)
+{
+    (void)cfg;
+    if (loop.headBlock < 0 || loop.latchBlock < 0)
+        return false;
+    const auto &latch_dom =
+        dominators[static_cast<std::size_t>(loop.latchBlock)];
+    return latch_dom[static_cast<std::size_t>(loop.headBlock)];
+}
+
+} // namespace liquid

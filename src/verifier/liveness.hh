@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Register-liveness dataflow over a RegionCfg plus the CFG facts the
+ * whole-binary scanner's region-boundary contract needs (dominators,
+ * reducibility, per-instruction use/def effects).
+ *
+ * The analysis is a classic backward may-liveness fixpoint over the
+ * region's basic blocks. Registers are tracked by their flat number
+ * (RegId::flat(), 0..63 across the four classes) in a 64-bit set, so
+ * set operations are single machine words. Calls inside the region are
+ * summarized by FnSummary (what the callee reads at entry, what it may
+ * write), which lets the scanner solve all functions of a binary to a
+ * joint fixpoint bottom-up.
+ *
+ * What this buys the scanner: the paper's region-boundary contract
+ * (Section 3's outlining discipline) is a statement about liveness —
+ * an outlined region is self-contained (no scalar live-ins), returns
+ * results only through scalar registers the caller reads back
+ * (accumulators), keeps its induction variables private, and never
+ * spills inside the loop body. None of that is checkable from the
+ * Table-1 rule mirror alone, which assumes the scalarizer already
+ * enforced the discipline.
+ */
+
+#ifndef LIQUID_VERIFIER_LIVENESS_HH
+#define LIQUID_VERIFIER_LIVENESS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "asm/program.hh"
+#include "verifier/cfg.hh"
+
+namespace liquid
+{
+
+/** A set of architectural registers, keyed by RegId::flat(). */
+class RegSet
+{
+  public:
+    void
+    add(RegId reg)
+    {
+        if (reg.isValid())
+            bits_ |= 1ull << reg.flat();
+    }
+
+    void remove(RegId reg)
+    {
+        if (reg.isValid())
+            bits_ &= ~(1ull << reg.flat());
+    }
+
+    bool
+    contains(RegId reg) const
+    {
+        return reg.isValid() && (bits_ & (1ull << reg.flat()));
+    }
+
+    bool empty() const { return bits_ == 0; }
+    unsigned count() const;
+
+    RegSet &
+    operator|=(const RegSet &o)
+    {
+        bits_ |= o.bits_;
+        return *this;
+    }
+
+    RegSet &
+    operator&=(const RegSet &o)
+    {
+        bits_ &= o.bits_;
+        return *this;
+    }
+
+    /** Set difference: registers in this set but not in @p o. */
+    RegSet
+    minus(const RegSet &o) const
+    {
+        RegSet r;
+        r.bits_ = bits_ & ~o.bits_;
+        return r;
+    }
+
+    bool operator==(const RegSet &o) const { return bits_ == o.bits_; }
+
+    /** Members in flat order. */
+    std::vector<RegId> regs() const;
+
+    /** Members restricted to one register class. */
+    RegSet ofClass(RegClass cls) const;
+
+    /** True if any member is a vector-class register. */
+    bool anyVector() const;
+
+    /** Comma-separated register names, e.g. "r1, f2"; "-" if empty. */
+    std::string str() const;
+
+  private:
+    std::uint64_t bits_ = 0;
+};
+
+/** What one instruction reads and writes (registers only). */
+struct InstEffects
+{
+    RegSet uses;
+    RegSet defs;
+};
+
+/**
+ * Use/def effects of @p inst. Conditional register writes (cond !=
+ * AL on a dst-writing opcode) also *use* the destination: the old
+ * value survives when the condition fails. Bl and Ret report no
+ * effects — interprocedural flow is the caller's job (FnSummary).
+ */
+InstEffects instEffects(const Inst &inst);
+
+/**
+ * Liveness summary of a callee, used to transfer bl sites: a call
+ * kills mayDef and then demands liveIn.
+ */
+struct FnSummary
+{
+    RegSet liveIn;   ///< registers the callee reads before writing
+    RegSet mayDef;   ///< registers the callee may write
+};
+
+/** Backward may-liveness over one region CFG. */
+class Liveness
+{
+  public:
+    /**
+     * Solve liveness for @p cfg. @p callees maps a bl target
+     * instruction index to its summary; bl sites whose target is
+     * absent are treated as no-ops (conservative for self-contained
+     * kernels, exact once the scanner reaches its joint fixpoint).
+     * @p exit_live is what the environment reads after the region
+     * returns (ret and falls-off-end paths).
+     */
+    static Liveness run(const Program &prog, const RegionCfg &cfg,
+                        const std::map<int, FnSummary> &callees = {},
+                        const RegSet &exit_live = {});
+
+    /** Live registers immediately before instruction @p index. */
+    const RegSet &liveBefore(int index) const;
+
+    /** Live registers immediately after instruction @p index. */
+    const RegSet &liveAfter(int index) const;
+
+    /** Live-in at the region entry (the region's demands on callers). */
+    const RegSet &entryLiveIn() const;
+
+    /** Union of defs over all reachable instructions (incl. callees). */
+    const RegSet &mayDef() const { return mayDef_; }
+
+    /** This region's callee summary. */
+    FnSummary summary() const { return FnSummary{entryLiveIn(), mayDef_}; }
+
+  private:
+    std::map<int, RegSet> before_;
+    std::map<int, RegSet> after_;
+    RegSet entryLive_;
+    RegSet mayDef_;
+    RegSet emptySet_;
+};
+
+/**
+ * Dominator sets of @p cfg's blocks: result[b] lists the blocks that
+ * dominate block b (including b itself). Entry block is block 0's
+ * containing block of the region entry.
+ */
+std::vector<std::vector<bool>> blockDominators(const RegionCfg &cfg);
+
+/**
+ * True if @p loop is a natural (reducible) loop: its head dominates
+ * its latch. A back edge whose target does not dominate its source
+ * means control enters the loop body around the head — irreducible
+ * flow the translator's single-entry capture cannot represent.
+ */
+bool loopIsReducible(const RegionCfg &cfg, const CfgLoop &loop,
+                     const std::vector<std::vector<bool>> &dominators);
+
+} // namespace liquid
+
+#endif // LIQUID_VERIFIER_LIVENESS_HH

@@ -232,7 +232,8 @@ verifyRegion(const Program &prog, int entry_index,
         os << "translation aborts at width " << bind << ": "
            << abortReasonName(outcome.reason) << " ("
            << reasonClassName(abortReasonClass(outcome.reason))
-           << " check)";
+           << " check: " << abortReasonDescription(outcome.reason)
+           << ")";
         d.message = os.str();
         report.diags.push_back(std::move(d));
 

@@ -32,6 +32,21 @@ TEST(AbortReason, CanonicalNamesRoundTrip)
     EXPECT_EQ(parseAbortReason(""), AbortReason::NumReasons);
 }
 
+TEST(AbortReason, EveryReasonHasAHumanDescription)
+{
+    // The single-source table pairs each reason with a one-line
+    // description used by verifier diagnostics and the scan/verify
+    // JSON; it must exist and must not just repeat the name.
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(AbortReason::NumReasons); ++i) {
+        const auto reason = static_cast<AbortReason>(i);
+        const char *desc = abortReasonDescription(reason);
+        ASSERT_NE(desc, nullptr);
+        EXPECT_FALSE(std::string(desc).empty());
+        EXPECT_STRNE(desc, abortReasonName(reason));
+    }
+}
+
 TEST(AbortReason, ClassGrouping)
 {
     EXPECT_EQ(abortReasonClass(AbortReason::None), ReasonClass::None);

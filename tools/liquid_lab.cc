@@ -25,6 +25,7 @@
 
 #include "lab/diff.hh"
 #include "lab/experiments.hh"
+#include "lab/predict.hh"
 #include "lab/runner.hh"
 
 using namespace liquid;
@@ -56,6 +57,8 @@ usage()
         "  --filter REGEX      only jobs whose key matches\n"
         "  --render            also print the paper tables\n"
         "  --progress          one line per finished job\n"
+        "  --predict           tag liquid results with liquid-scan's\n"
+        "                      static speedup prediction\n"
         "\n"
         "diff options:\n"
         "  --tol PCT           cycle tolerance in percent (default: 2)\n";
@@ -90,6 +93,7 @@ struct RunOptions
     std::string filter;
     bool render = false;
     bool progress = false;
+    bool predict = false;
 };
 
 int
@@ -111,6 +115,11 @@ cmdRun(const RunOptions &opt)
                            : opt.cacheDir);
     const ResultCache cache(cacheDir);
     Runner runner(opt.jobs);
+
+    // One scan of the unhinted suite covers every campaign's jobs.
+    std::vector<WorkloadPrediction> predictions;
+    if (opt.predict)
+        predictions = predictSuite(ScanOptions{});
 
     bool shapesOk = true;
     for (const auto &campaign : campaigns) {
@@ -141,6 +150,10 @@ cmdRun(const RunOptions &opt)
                 std::chrono::steady_clock::now() - t0)
                 .count();
 
+        unsigned tagged = 0;
+        if (opt.predict)
+            tagged = tagPredictions(results, predictions);
+
         const std::string path = opt.out + "/" + campaign.outputFile;
         results.writeFile(path);
         std::cout << campaign.name << ": " << stats.jobs << " jobs ("
@@ -150,6 +163,9 @@ cmdRun(const RunOptions &opt)
                   << " workers in " << std::fixed
                   << std::setprecision(2) << secs << "s -> " << path
                   << '\n';
+        if (opt.predict)
+            std::cout << "  tagged " << tagged
+                      << " result(s) with scan predictions\n";
 
         if (opt.render && campaign.render) {
             std::cout << '\n';
@@ -273,6 +289,8 @@ main(int argc, char **argv)
                     opt.render = true;
                 else if (a == "--progress")
                     opt.progress = true;
+                else if (a == "--predict")
+                    opt.predict = true;
                 else
                     fatal("unknown option '", a, "'");
             }

@@ -1,0 +1,351 @@
+/**
+ * @file
+ * liquid-scan: whole-binary SIMD-region discovery and static speedup
+ * prediction.
+ *
+ * Takes an assembled program with NO scalarizer metadata, recovers the
+ * interprocedural CFG (every bl target is an outlined function under
+ * the bl/ret convention), checks each function's natural loops against
+ * the paper's region-boundary liveness contract, and predicts the
+ * translated speedup at each accelerator width via the Table-1 rule
+ * mirror, depcheck and the cost model.
+ *
+ *   liquid-scan prog.s                    # scan one binary
+ *   liquid-scan --suite                   # scan the unhinted suite
+ *   liquid-scan --widths 2,4,8,16 prog.s  # prediction widths
+ *   liquid-scan --json prog.s             # machine-readable report
+ *   liquid-scan --suite --validate bench/baseline/BENCH_fig6.json
+ *                                         # join predictions against
+ *                                         # measured lab results
+ *
+ * Exit status: 0 when no region is Error-severity (and, with
+ * --validate, predicted-vs-measured rankings agree); 1 otherwise;
+ * 2 on usage/assembly problems.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "asm/assembler.hh"
+#include "common/json.hh"
+#include "lab/predict.hh"
+#include "verifier/scan.hh"
+#include "workloads/workload.hh"
+
+using namespace liquid;
+
+namespace
+{
+
+/** JSON output format identifier; bump on breaking layout changes. */
+constexpr const char *scanSchema = "liquid-scan-v1";
+/** Tool revision carried in the JSON header for drift detection. */
+constexpr const char *scanToolVersion = "1.0";
+
+struct Options
+{
+    std::string file;
+    std::vector<unsigned> widths{2, 4, 8, 16};
+    bool fallback = true;
+    bool predict = true;
+    bool werror = false;
+    bool suite = false;
+    bool json = false;
+    std::string validateFile;
+};
+
+void
+usage()
+{
+    std::cout <<
+        "usage: liquid-scan [options] program.s\n"
+        "       liquid-scan [options] --suite\n"
+        "  --widths LIST    comma-separated prediction widths"
+        " (2,4,8,16)\n"
+        "  --no-fallback    do not retry failed widths at half width\n"
+        "  --no-predict     discovery and contract checks only\n"
+        "  --werror         treat warn verdicts as errors\n"
+        "  --json           machine-readable report on stdout\n"
+        "  --suite          scan every suite workload, built without\n"
+        "                   scalarizer hints\n"
+        "  --validate FILE  join suite predictions against measured\n"
+        "                   liquid-lab results (implies --suite)\n";
+}
+
+bool
+parseWidths(const std::string &list, std::vector<unsigned> &out)
+{
+    out.clear();
+    std::istringstream is(list);
+    std::string tok;
+    while (std::getline(is, tok, ',')) {
+        if (tok.empty())
+            return false;
+        const unsigned w =
+            static_cast<unsigned>(std::stoul(tok));
+        if (w < 2 || (w & (w - 1)) != 0)
+            return false;
+        out.push_back(w);
+    }
+    return !out.empty();
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << arg << '\n';
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--widths") {
+            const char *v = value();
+            if (!v || !parseWidths(v, opt.widths)) {
+                std::cerr << "bad width list\n";
+                return false;
+            }
+        } else if (arg == "--no-fallback") {
+            opt.fallback = false;
+        } else if (arg == "--no-predict") {
+            opt.predict = false;
+        } else if (arg == "--werror") {
+            opt.werror = true;
+        } else if (arg == "--json") {
+            opt.json = true;
+        } else if (arg == "--suite") {
+            opt.suite = true;
+        } else if (arg == "--validate") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.validateFile = v;
+            opt.suite = true;
+        } else if (arg == "-h" || arg == "--help") {
+            usage();
+            std::exit(0);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "unknown option '" << arg << "'\n";
+            return false;
+        } else if (opt.file.empty()) {
+            opt.file = arg;
+        } else {
+            std::cerr << "multiple input files\n";
+            return false;
+        }
+    }
+    if (opt.file.empty() && !opt.suite) {
+        usage();
+        return false;
+    }
+    if (!opt.file.empty() && opt.suite) {
+        std::cerr << "--suite does not take an input file\n";
+        return false;
+    }
+    return true;
+}
+
+json::Value
+regNames(const RegSet &set)
+{
+    json::Value arr = json::Value::array();
+    for (const RegId reg : set.regs())
+        arr.push(regName(reg));
+    return arr;
+}
+
+json::Value
+regionJson(const std::string &program, const ScanRegion &r)
+{
+    json::Value v = json::Value::object();
+    v.set("program", program);
+    v.set("entryLabel", r.entryLabel);
+    v.set("entryIndex", r.entryIndex);
+    v.set("callSites", r.callSites);
+    v.set("hinted", r.hinted);
+    if (r.widthHint)
+        v.set("widthHint", r.widthHint);
+    v.set("blocks", r.blockCount);
+    v.set("loops", r.loopCount);
+    v.set("irreducible", r.irreducible);
+    v.set("liveIn", regNames(r.liveIn));
+    v.set("liveOut", regNames(r.liveOutDemanded));
+    v.set("iv", regNames(r.ivRegs));
+    v.set("contractVerdict", severityName(r.contractVerdict));
+    v.set("verdict", severityName(r.overallVerdict()));
+    v.set("candidate", r.candidate);
+
+    json::Value diags = json::Value::array();
+    for (const Diagnostic &d : r.contractDiags) {
+        json::Value dj = json::Value::object();
+        dj.set("severity", severityName(d.severity));
+        if (d.instIndex >= 0)
+            dj.set("inst", d.instIndex);
+        dj.set("message", d.message);
+        diags.push(std::move(dj));
+    }
+    v.set("contractDiags", std::move(diags));
+
+    json::Value preds = json::Value::array();
+    for (const WidthPrediction &p : r.predictions) {
+        const RegionReport &rr = p.report;
+        json::Value pj = json::Value::object();
+        pj.set("requestedWidth", p.requestedWidth);
+        pj.set("verdict", severityName(rr.verdict));
+        if (rr.verdict == Severity::Error) {
+            pj.set("reason", abortReasonName(rr.reason));
+            pj.set("reasonDesc", abortReasonDescription(rr.reason));
+            pj.set("depMiscompile", rr.depMiscompile);
+        }
+        if (rr.predictedWidth) {
+            pj.set("boundWidth", rr.predictedWidth);
+            pj.set("ucodeInsts", rr.predictedUcode);
+        }
+        if (rr.verdict == Severity::Ok && rr.predictedSpeedup > 0) {
+            pj.set("scalarCycles", rr.predictedScalarCycles);
+            pj.set("simdCycles", rr.predictedSimdCycles);
+            pj.set("speedup", rr.predictedSpeedup);
+        }
+        preds.push(std::move(pj));
+    }
+    v.set("predictions", std::move(preds));
+
+    if (r.bestWidth) {
+        v.set("bestWidth", r.bestWidth);
+        v.set("bestSpeedup", r.bestSpeedup);
+    }
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt))
+        return 2;
+
+    ScanOptions sopts;
+    sopts.widths = opt.widths;
+    sopts.widthFallback = opt.fallback;
+    sopts.predict = opt.predict;
+
+    try {
+        std::vector<std::pair<std::string, ScanReport>> reports;
+        if (opt.suite) {
+            for (const auto &wl : makeSuite()) {
+                // No hints: the scan must rediscover every region
+                // from the bl/ret convention alone.
+                const Workload::Build build =
+                    wl->build(EmitOptions::Mode::Scalarized, 8,
+                              /*hinted=*/false);
+                reports.emplace_back(wl->name(),
+                                     scanProgram(build.prog, sopts));
+            }
+        } else {
+            std::ifstream in(opt.file);
+            if (!in) {
+                std::cerr << "cannot open '" << opt.file << "'\n";
+                return 2;
+            }
+            std::ostringstream source;
+            source << in.rdbuf();
+            const Program prog = assemble(source.str());
+            reports.emplace_back(opt.file, scanProgram(prog, sopts));
+        }
+
+        unsigned regions = 0, candidates = 0;
+        unsigned ok = 0, warn = 0, error = 0;
+        for (const auto &[name, rep] : reports) {
+            regions += static_cast<unsigned>(rep.regions.size());
+            candidates += rep.candidateCount();
+            for (const ScanRegion &r : rep.regions) {
+                switch (r.overallVerdict()) {
+                  case Severity::Ok: ++ok; break;
+                  case Severity::Warn: ++warn; break;
+                  case Severity::Error: ++error; break;
+                }
+            }
+        }
+
+        // Optional differential validation against measured results.
+        bool validated = true;
+        lab::ValidationSummary validation;
+        if (!opt.validateFile.empty()) {
+            std::vector<lab::WorkloadPrediction> preds;
+            for (const auto &[name, rep] : reports) {
+                lab::WorkloadPrediction p;
+                p.workload = name;
+                p.speedupByWidth = lab::aggregateScanSpeedups(rep);
+                preds.push_back(std::move(p));
+            }
+            const lab::ResultSet measured =
+                lab::ResultSet::readFile(opt.validateFile);
+            validation = lab::validatePredictions(preds, measured);
+            validated = validation.rankAgreement() &&
+                        !validation.rows.empty();
+        }
+
+        if (opt.json) {
+            json::Value root = json::Value::object();
+            root.set("schema", scanSchema);
+            root.set("toolVersion", scanToolVersion);
+            json::Value regionArr = json::Value::array();
+            for (const auto &[name, rep] : reports) {
+                for (const ScanRegion &r : rep.regions)
+                    regionArr.push(regionJson(name, r));
+            }
+            root.set("regions", std::move(regionArr));
+            json::Value summary = json::Value::object();
+            summary.set("regions", regions);
+            summary.set("candidates", candidates);
+            summary.set("ok", ok);
+            summary.set("warn", warn);
+            summary.set("error", error);
+            root.set("summary", std::move(summary));
+            if (!opt.validateFile.empty())
+                root.set("validation", validation.toJson());
+            std::cout << root.toString();
+        } else {
+            for (const auto &[name, rep] : reports) {
+                if (opt.suite)
+                    std::cout << "== " << name << '\n';
+                for (const ScanRegion &r : rep.regions)
+                    std::cout << formatScanRegion(r);
+            }
+            std::cout << regions << " region(s): " << candidates
+                      << " candidate(s), " << ok << " ok, " << warn
+                      << " warn, " << error << " error\n";
+            if (!opt.validateFile.empty()) {
+                std::cout << "validation vs " << opt.validateFile
+                          << ": " << validation.rows.size()
+                          << " joined pair(s), "
+                          << validation.discordantPairs << "/"
+                          << validation.comparablePairs
+                          << " discordant, mean |err| "
+                          << validation.meanAbsError << ", max |err| "
+                          << validation.maxAbsError << " -> "
+                          << (validated ? "RANKS AGREE"
+                                        : "RANK DISAGREEMENT")
+                          << '\n';
+            }
+        }
+
+        if (error || (opt.werror && warn) || !validated)
+            return 1;
+    } catch (const FatalError &e) {
+        std::cerr << e.what() << '\n';
+        return 2;
+    } catch (const PanicError &e) {
+        std::cerr << e.what() << '\n';
+        return 2;
+    }
+    return 0;
+}

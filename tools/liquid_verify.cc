@@ -36,6 +36,11 @@ using namespace liquid;
 namespace
 {
 
+/** JSON output format identifier; bump on breaking layout changes. */
+constexpr const char *verifySchema = "liquid-verify-v1";
+/** Tool revision carried in the JSON header for drift detection. */
+constexpr const char *verifyToolVersion = "1.0";
+
 struct Options
 {
     std::string file;
@@ -277,7 +282,10 @@ main(int argc, char **argv)
         }
 
         if (opt.json) {
-            std::cout << "{\n  \"regions\": [\n";
+            std::cout << "{\n  \"schema\": \"" << verifySchema
+                      << "\",\n  \"toolVersion\": \""
+                      << verifyToolVersion << "\",\n"
+                      << "  \"regions\": [\n";
             for (std::size_t i = 0; i < regions.size(); ++i) {
                 jsonRegion(std::cout, regions[i].first,
                            regions[i].second);
