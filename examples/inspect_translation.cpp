@@ -141,7 +141,7 @@ main()
                 halt
         )");
         SystemConfig config = SystemConfig::make(ExecMode::Liquid, 8);
-        config.core.interruptPeriod = 450;  // lands mid-capture
+        config.core.faults = liquid::FaultSchedule::periodic(450);  // mid-capture
         System sys(config, prog);
         report("interrupt aborts are transient (no blacklist, later "
                "call retries):",

@@ -1,0 +1,136 @@
+#include "chaos/fault_schedule.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace liquid
+{
+
+namespace
+{
+
+/** Parse a kind tag; fatal() with the offending token on a miss. */
+FaultKind
+parseKind(const std::string &tag, const std::string &key)
+{
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(FaultKind::NumKinds); ++i) {
+        const auto kind = static_cast<FaultKind>(i);
+        if (tag == faultKindName(kind))
+            return kind;
+    }
+    fatal("fault schedule '", key, "': unknown event kind '", tag, "'");
+}
+
+std::uint64_t
+parseNumber(const std::string &text, const std::string &key)
+{
+    if (text.empty() ||
+        text.find_first_not_of("0123456789") != std::string::npos)
+        fatal("fault schedule '", key, "': bad number '", text, "'");
+    return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+} // namespace
+
+std::string
+FaultSchedule::key() const
+{
+    if (empty())
+        return "none";
+    std::string k;
+    auto append = [&k](const std::string &part) {
+        if (!k.empty())
+            k += '+';
+        k += part;
+    };
+    if (interruptPeriod)
+        append("p" + std::to_string(interruptPeriod));
+    for (const FaultEvent &e : events) {
+        std::string part = std::string(faultKindName(e.kind)) + "@" +
+                           std::to_string(e.atRetire);
+        if (e.addr != invalidAddr)
+            part += ":" + std::to_string(e.addr);
+        append(part);
+    }
+    return k;
+}
+
+FaultSchedule
+FaultSchedule::parse(const std::string &key)
+{
+    FaultSchedule s;
+    if (key.empty() || key == "none")
+        return s;
+
+    std::size_t pos = 0;
+    while (pos <= key.size()) {
+        const std::size_t next = key.find('+', pos);
+        const std::string part =
+            key.substr(pos, next == std::string::npos ? std::string::npos
+                                                      : next - pos);
+        if (part.empty())
+            fatal("fault schedule '", key, "': empty component");
+
+        if (part[0] == 'p' && part.find('@') == std::string::npos) {
+            if (s.interruptPeriod)
+                fatal("fault schedule '", key,
+                      "': duplicate periodic component");
+            s.interruptPeriod = static_cast<Cycles>(
+                parseNumber(part.substr(1), key));
+            if (!s.interruptPeriod)
+                fatal("fault schedule '", key, "': period must be > 0");
+        } else {
+            const std::size_t at = part.find('@');
+            if (at == std::string::npos)
+                fatal("fault schedule '", key, "': component '", part,
+                      "' has no @retire index");
+            FaultEvent e;
+            e.kind = parseKind(part.substr(0, at), key);
+            const std::size_t colon = part.find(':', at);
+            if (colon == std::string::npos) {
+                e.atRetire =
+                    parseNumber(part.substr(at + 1), key);
+            } else {
+                e.atRetire = parseNumber(
+                    part.substr(at + 1, colon - at - 1), key);
+                e.addr = static_cast<Addr>(
+                    parseNumber(part.substr(colon + 1), key));
+            }
+            s.events.push_back(e);
+        }
+        if (next == std::string::npos)
+            break;
+        pos = next + 1;
+    }
+    s.normalize();
+    return s;
+}
+
+FaultSchedule
+FaultSchedule::random(Rng &rng, std::uint64_t max_retire,
+                      const std::vector<Addr> &regions)
+{
+    LIQUID_ASSERT(max_retire >= 1, "empty retire window");
+    FaultSchedule s;
+    const int num_events = static_cast<int>(rng.range(1, 3));
+    for (int i = 0; i < num_events; ++i) {
+        FaultEvent e;
+        e.kind = static_cast<FaultKind>(rng.range(
+            0, static_cast<int>(FaultKind::NumKinds) - 1));
+        e.atRetire = static_cast<std::uint64_t>(
+            rng.range(1, static_cast<std::int64_t>(max_retire)));
+        const bool addressed = e.kind == FaultKind::UcodeEvict ||
+                               e.kind == FaultKind::SmcStore;
+        if (addressed && !regions.empty() && rng.chance(0.75)) {
+            e.addr = regions[static_cast<std::size_t>(rng.range(
+                0, static_cast<int>(regions.size()) - 1))];
+        }
+        s.events.push_back(e);
+    }
+    s.normalize();
+    return s;
+}
+
+} // namespace liquid

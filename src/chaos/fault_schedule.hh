@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Deterministic fault schedules for the chaos subsystem.
+ *
+ * The paper's graceful-degradation claim (Sections 3.4 and 4) is that
+ * *any* external event — an interrupt mid-region, a context switch
+ * flushing the microcode cache, self-modifying code invalidating a
+ * translation — leaves architectural results identical to the scalar
+ * loop. A FaultSchedule makes those events first-class, reproducible
+ * inputs: a sorted list of retire-indexed events plus the legacy
+ * cycle-periodic interrupt, with a canonical string key so any failing
+ * schedule can be replayed from a JSON report.
+ *
+ * Only the schedule container and its inline helpers live in this
+ * header; the Core consumes schedules without linking liquid_chaos.
+ * key()/parse()/random() live in fault_schedule.cc.
+ */
+
+#ifndef LIQUID_CHAOS_FAULT_SCHEDULE_HH
+#define LIQUID_CHAOS_FAULT_SCHEDULE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+
+namespace liquid
+{
+
+/** What kind of external event fires. */
+enum class FaultKind : std::uint8_t
+{
+    Interrupt,      ///< external abort signal (paper Figure 5)
+    UcodeFlush,     ///< context switch: drop every cached translation
+    UcodeEvict,     ///< evict one microcode-cache entry (LRU if no addr)
+    SmcStore,       ///< self-modifying-code store into translated code
+    DcachePerturb,  ///< flush the data cache (timing-only perturbation)
+    NumKinds,
+};
+
+/** Canonical short tag used in schedule keys and fault statistics. */
+inline const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::Interrupt: return "int";
+      case FaultKind::UcodeFlush: return "flush";
+      case FaultKind::UcodeEvict: return "evict";
+      case FaultKind::SmcStore: return "smc";
+      case FaultKind::DcachePerturb: return "dcache";
+      case FaultKind::NumKinds: break;
+    }
+    return "?";
+}
+
+/**
+ * One scheduled event. It fires exactly once, at the top of the step
+ * that would retire instruction number atRetire+1 — i.e. after
+ * atRetire instructions have retired — so schedules are deterministic
+ * in instruction count, independent of cycle-level timing.
+ */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::Interrupt;
+    std::uint64_t atRetire = 0;
+    /**
+     * Event payload: the microcode-cache entry to evict (UcodeEvict)
+     * or the code address overwritten (SmcStore). invalidAddr selects
+     * a deterministic default victim — the LRU entry for evictions,
+     * the most recently dispatched region for SMC stores.
+     */
+    Addr addr = invalidAddr;
+
+    bool
+    operator==(const FaultEvent &o) const
+    {
+        return kind == o.kind && atRetire == o.atRetire && addr == o.addr;
+    }
+};
+
+/**
+ * A complete failure-injection plan for one run: retire-indexed events
+ * plus the legacy cycle-periodic interrupt (the generalization of the
+ * old Core::Config::interruptPeriod knob).
+ */
+struct FaultSchedule
+{
+    /** Raise an interrupt every N cycles; 0 disables. */
+    Cycles interruptPeriod = 0;
+    /** One-shot events, kept sorted by (atRetire, kind, addr). */
+    std::vector<FaultEvent> events;
+
+    /** The legacy failure-injection mode: an interrupt every N cycles. */
+    static FaultSchedule
+    periodic(Cycles period)
+    {
+        FaultSchedule s;
+        s.interruptPeriod = period;
+        return s;
+    }
+
+    /** Append an event, keeping canonical order. Returns *this. */
+    FaultSchedule &
+    add(FaultKind kind, std::uint64_t at_retire, Addr addr = invalidAddr)
+    {
+        events.push_back(FaultEvent{kind, at_retire, addr});
+        normalize();
+        return *this;
+    }
+
+    /** Restore canonical event order (after direct events edits). */
+    void
+    normalize()
+    {
+        std::sort(events.begin(), events.end(),
+                  [](const FaultEvent &a, const FaultEvent &b) {
+                      if (a.atRetire != b.atRetire)
+                          return a.atRetire < b.atRetire;
+                      if (a.kind != b.kind)
+                          return a.kind < b.kind;
+                      return a.addr < b.addr;
+                  });
+    }
+
+    bool empty() const { return interruptPeriod == 0 && events.empty(); }
+
+    bool
+    operator==(const FaultSchedule &o) const
+    {
+        return interruptPeriod == o.interruptPeriod && events == o.events;
+    }
+
+    /**
+     * Canonical, path-safe key, e.g. "none", "p700" (periodic),
+     * "int@120+flush@300+smc@400:4096". The key round-trips through
+     * parse() and names chaos experiments in JSON reports and the lab
+     * job keys; it never contains '/'.
+     */
+    std::string key() const;
+
+    /** Inverse of key(); fatal() on malformed input. */
+    static FaultSchedule parse(const std::string &key);
+
+    /**
+     * Draw a random schedule: 1..3 events with retire indices in
+     * [1, max_retire], kinds uniform over the repertoire. Addressed
+     * events (evict/SMC) target a random member of @p regions when
+     * provided, the deterministic default victim otherwise.
+     */
+    static FaultSchedule random(Rng &rng, std::uint64_t max_retire,
+                                const std::vector<Addr> &regions = {});
+};
+
+} // namespace liquid
+
+#endif // LIQUID_CHAOS_FAULT_SCHEDULE_HH

@@ -14,8 +14,7 @@ Core::Core(const CoreConfig &config, const Program &prog, MainMemory &mem)
       stats_("core")
 {
     pc_ = prog_.hasLabel("main") ? prog_.labelIndex("main") : 0;
-    nextInterrupt_ =
-        config_.interruptPeriod ? config_.interruptPeriod : 0;
+    nextInterrupt_ = config_.faults.interruptPeriod;
 }
 
 void
@@ -44,12 +43,20 @@ Core::step()
     if (instsRetired_ >= config_.maxInsts)
         panic("instruction watchdog exceeded (", config_.maxInsts, ")");
 
-    // Failure injection: external interrupt aborts in-flight translation.
-    if (config_.interruptPeriod && cycles_ >= nextInterrupt_) {
-        nextInterrupt_ += config_.interruptPeriod;
-        stats_.inc("interrupts");
-        if (sink_)
-            sink_->onInterrupt(cycles_);
+    // Failure injection: the fault schedule delivers external events.
+    // The periodic interrupt fires on cycle counts (the legacy
+    // interruptPeriod semantics); one-shot events fire on retire
+    // counts so schedules replay independently of cycle-level timing.
+    const FaultSchedule &faults = config_.faults;
+    if (faults.interruptPeriod && cycles_ >= nextInterrupt_) {
+        nextInterrupt_ += faults.interruptPeriod;
+        raiseFault(FaultEvent{FaultKind::Interrupt, instsRetired_,
+                              invalidAddr});
+    }
+    while (nextFault_ < faults.events.size() &&
+           faults.events[nextFault_].atRetire <= instsRetired_) {
+        raiseFault(faults.events[nextFault_]);
+        ++nextFault_;
     }
 
     const Inst *inst = nullptr;
@@ -57,7 +64,7 @@ Core::step()
         if (upc_ >= ucode_->insts.size()) {
             // Microcode region complete; resume after the bl.
             pc_ = ucodeReturn_;
-            ucode_ = nullptr;
+            ucode_.reset();
             cycles_ += config_.takenBranchPenalty;
             return true;
         }
@@ -86,6 +93,43 @@ Core::step()
 
     execute(*inst);
     return !halted_;
+}
+
+void
+Core::raiseFault(const FaultEvent &event)
+{
+    stats_.inc(std::string("faults.") + faultKindName(event.kind));
+
+    switch (event.kind) {
+      case FaultKind::Interrupt:
+        stats_.inc("interrupts");
+        if (ucode_ && config_.sabotageAbandonUcodeOnInterrupt) {
+            // Deliberately broken model (chaos sabotage test only):
+            // drop the remaining microcode lanes on the floor.
+            pc_ = ucodeReturn_;
+            ucode_.reset();
+        }
+        if (sink_)
+            sink_->onInterrupt(cycles_);
+        return;
+
+      case FaultKind::DcachePerturb:
+        dcache_.flush();
+        return;
+
+      case FaultKind::UcodeFlush:
+      case FaultKind::UcodeEvict:
+      case FaultKind::SmcStore:
+        if (faultHandler_)
+            faultHandler_(event, cycles_);
+        else
+            stats_.inc("faults.unhandled");
+        return;
+
+      case FaultKind::NumKinds:
+        break;
+    }
+    panic("bad fault kind");
 }
 
 Addr
@@ -262,7 +306,7 @@ Core::execute(const Inst &inst)
                 LIQUID_ASSERT(entry_uc->simdWidth <= config_.simdWidth,
                               "microcode wider than accelerator");
                 stats_.inc("ucodeDispatches");
-                ucode_ = entry_uc;
+                ucode_ = *entry_uc;
                 upc_ = 0;
                 ucodeReturn_ = pc_ + 1;
                 // The bl itself retired; the translator must not see it

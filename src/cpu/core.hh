@@ -16,10 +16,12 @@
 
 #include <functional>
 #include <map>
+#include <optional>
 #include <ostream>
 #include <vector>
 
 #include "asm/program.hh"
+#include "chaos/fault_schedule.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "cpu/regfile.hh"
@@ -47,8 +49,22 @@ struct CoreConfig
     CacheConfig icache{};
     CacheConfig dcache{};
 
-    /** Failure injection: raise an external abort every N cycles. */
-    Cycles interruptPeriod = 0;
+    /**
+     * Failure injection: deterministic schedule of external events
+     * (interrupts, microcode-cache flush/evict, SMC stores, data-cache
+     * perturbation). FaultSchedule::periodic(N) reproduces the old
+     * interruptPeriod knob exactly.
+     */
+    FaultSchedule faults{};
+
+    /**
+     * Deliberately WRONG hardware model, used only by the chaos
+     * sabotage test: an interrupt arriving while microcode executes
+     * abandons the region mid-flight (skipping the remaining lanes)
+     * instead of letting it complete. The equivalence oracle must
+     * catch the missing architectural state.
+     */
+    bool sabotageAbandonUcodeOnInterrupt = false;
 
     /** Watchdog: panic after this many retired instructions. */
     std::uint64_t maxInsts = 2'000'000'000ull;
@@ -98,6 +114,19 @@ class Core
     using UcodeLookup =
         std::function<const UcodeEntry *(Addr, Cycles)>;
     void setUcodeLookup(UcodeLookup lookup) { ucodeLookup_ = lookup; }
+
+    /**
+     * Receiver for scheduled fault events the core cannot service
+     * itself (microcode-cache flush/evict, SMC stores). The System
+     * installs this because it owns the microcode cache and the
+     * translator; interrupts and data-cache perturbation are handled
+     * core-locally. Events with no handler are counted and dropped.
+     */
+    using FaultHandler = std::function<void(const FaultEvent &, Cycles)>;
+    void setFaultHandler(FaultHandler handler)
+    {
+        faultHandler_ = std::move(handler);
+    }
 
     /** Run from the program's "main" label (or index 0) until halt. */
     void run();
@@ -162,6 +191,7 @@ class Core
     const ConstVec &resolveCvec(const Inst &inst) const;
     void retire(const RetireInfo &info);
     Addr memEA(const Inst &inst) const;
+    void raiseFault(const FaultEvent &event);
 
     CoreConfig config_;
     const Program &prog_;
@@ -173,6 +203,7 @@ class Core
 
     RetireSink *sink_ = nullptr;
     UcodeLookup ucodeLookup_;
+    FaultHandler faultHandler_;
 
     /** callStack_ marker used by runRegion(). */
     static constexpr int regionSentinel = -2;
@@ -183,8 +214,11 @@ class Core
     Cycles cycles_ = 0;
     std::uint64_t instsRetired_ = 0;
 
-    // Microcode execution state.
-    const UcodeEntry *ucode_ = nullptr;
+    // Microcode execution state. The dispatched entry is latched by
+    // value — modelling the hardware microcode execution buffer — so
+    // cache flushes or evictions mid-region (chaos fault events) never
+    // affect the instructions already being executed.
+    std::optional<UcodeEntry> ucode_;
     unsigned upc_ = 0;
     int ucodeReturn_ = 0;
 
@@ -192,6 +226,7 @@ class Core
     RegId pendingLoadDst_;
 
     Cycles nextInterrupt_ = 0;
+    std::size_t nextFault_ = 0;  ///< index into config_.faults.events
     std::map<Addr, std::vector<Cycles>> callLog_;
     std::ostream *trace_ = nullptr;
 };

@@ -6,6 +6,7 @@
 #include <set>
 #include <sstream>
 
+#include "chaos/fault_schedule.hh"
 #include "common/logging.hh"
 
 namespace liquid::lab
@@ -113,6 +114,46 @@ cacheMatrix(bool smoke)
         ConfigOverrides over;
         over.dcacheSizeBytes = bytes;
         over.dcacheAssoc = 64;
+        spec.overrides.push_back(over);
+    }
+    ExperimentMatrix matrix;
+    matrix.specs.push_back(std::move(spec));
+    return matrix;
+}
+
+/**
+ * Chaos campaign: the whole suite in Liquid mode under one schedule
+ * per fault kind (plus the legacy periodic interrupt and a fault-free
+ * control). Address-free events pick their deterministic default
+ * victims, so the same schedule works for every workload. Retire
+ * indices are small enough to land inside even the smoke-sized runs.
+ */
+const std::vector<std::string> &
+chaosScheduleKeys()
+{
+    static const std::vector<std::string> keys = {
+        "p700",      // legacy periodic interrupt
+        "int@40",    // one-shot interrupt
+        "flush@80",  // context-switch microcode flush
+        "evict@60",  // LRU microcode eviction
+        "smc@100",   // self-modifying-code invalidation
+        "dcache@50", // data-cache perturbation (timing-only)
+    };
+    return keys;
+}
+
+ExperimentMatrix
+chaosMatrix(bool smoke)
+{
+    ExperimentSpec spec;
+    spec.name = "chaos";
+    spec.modes = {ExecMode::Liquid};
+    spec.widths = {8};
+    spec.repsList = smokeReps(smoke);
+    spec.overrides.push_back(ConfigOverrides{});  // fault-free control
+    for (const std::string &key : chaosScheduleKeys()) {
+        ConfigOverrides over;
+        over.faults = key;
         spec.overrides.push_back(over);
     }
     ExperimentMatrix matrix;
@@ -429,6 +470,77 @@ renderCacheSweep(std::ostream &os, const ResultSet &results)
     return true;
 }
 
+bool
+renderChaos(std::ostream &os, const ResultSet &results)
+{
+    os << "=== Chaos: fault-schedule injection across the suite "
+          "(Liquid, W=8) ===\n\n";
+    const auto &schedules = chaosScheduleKeys();
+
+    cell(os, -14, "benchmark");
+    cell(os, 10, "none");
+    for (const auto &key : schedules)
+        cell(os, 11, key);
+    os << '\n' << std::string(14 + 10 + 11 * schedules.size(), '-')
+       << '\n';
+
+    // Suite-wide tallies the shape checks run on.
+    std::map<std::string, std::uint64_t> kindFired;
+    std::uint64_t retranslations = 0;
+    bool sawAny = false, missing = false;
+
+    for (const auto &[name, jobs] : groupByWorkload(results, "chaos")) {
+        sawAny = true;
+        cell(os, -14, name);
+        const JobResult *control = pick(jobs, ExecMode::Liquid, 8);
+        cell(os, 10,
+             control ? std::to_string(control->outcome.cycles) : "?");
+        if (!control)
+            missing = true;
+        for (const auto &key : schedules) {
+            ConfigOverrides over;
+            over.faults = key;
+            const JobResult *r =
+                pick(jobs, ExecMode::Liquid, 8, false, &over);
+            if (!r) {
+                cell(os, 11, "?");
+                missing = true;
+                continue;
+            }
+            cell(os, 11, std::to_string(r->outcome.cycles));
+            retranslations += r->outcome.retranslations;
+            for (const auto &[stat, value] : r->outcome.counters) {
+                if (stat.rfind("core.faults.", 0) == 0)
+                    kindFired[stat.substr(12)] += value;
+            }
+        }
+        os << '\n';
+    }
+    if (!sawAny)
+        fatal("renderChaos: no chaos jobs in the result set");
+
+    // Shape checks: every fault kind must actually fire somewhere in
+    // the suite, and cache-loss events must force re-translations.
+    bool allKinds = true;
+    os << "\nFault kinds fired across the suite:\n";
+    for (std::size_t k = 0;
+         k < static_cast<std::size_t>(FaultKind::NumKinds); ++k) {
+        const char *kindName =
+            faultKindName(static_cast<FaultKind>(k));
+        const std::uint64_t fired = kindFired[kindName];
+        os << "  " << std::left << std::setw(8) << kindName
+           << std::right << fired << (fired ? "" : "  MISSING")
+           << '\n';
+        if (!fired)
+            allKinds = false;
+    }
+    os << "re-translations after microcode loss: " << retranslations
+       << (retranslations ? "" : "  MISSING") << '\n';
+    if (missing)
+        os << "some (workload, schedule) jobs were MISSING\n";
+    return allKinds && retranslations > 0 && !missing;
+}
+
 // ---- campaign registry ----------------------------------------------------
 
 std::vector<Campaign>
@@ -442,6 +554,7 @@ standardCampaigns(bool smoke)
          renderLatencySweep},
         {"cache", "BENCH_cache.json", cacheMatrix(smoke),
          renderCacheSweep},
+        {"chaos", "BENCH_chaos.json", chaosMatrix(smoke), renderChaos},
     };
 }
 

@@ -47,6 +47,7 @@ bool renderFig6(std::ostream &os, const ResultSet &results);
 bool renderUcacheSweep(std::ostream &os, const ResultSet &results);
 bool renderLatencySweep(std::ostream &os, const ResultSet &results);
 bool renderCacheSweep(std::ostream &os, const ResultSet &results);
+bool renderChaos(std::ostream &os, const ResultSet &results);
 
 } // namespace liquid::lab
 

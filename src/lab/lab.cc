@@ -28,6 +28,8 @@ harvest(System &sys)
     if (sys.config().mode == ExecMode::Liquid) {
         out.translations = sys.translator().stats().get("translations");
         out.aborts = sys.translator().stats().get("aborts");
+        out.retranslations =
+            sys.translator().stats().get("retranslations");
         snapshot(sys.translator().stats(), out);
         snapshot(sys.ucodeCache().stats(), out);
     }

@@ -33,7 +33,7 @@ namespace liquid::lab
  * bump it whenever a change alters simulated timing or statistics so
  * stale cached results can never be served for new model behaviour.
  */
-inline constexpr const char *modelVersion = "liquid-sim-2026.08-1";
+inline constexpr const char *modelVersion = "liquid-sim-2026.08-2";
 
 /** Everything harvested from one finished simulation. */
 struct RunOutcome
@@ -44,6 +44,9 @@ struct RunOutcome
     std::uint64_t translations = 0;
     std::uint64_t aborts = 0;
     std::uint64_t ucodeDispatches = 0;
+    /** Re-commits after a loss/abort; per-reason breakdown lives in
+     *  counters as "translator.retranslate.<reason>". */
+    std::uint64_t retranslations = 0;
 
     /** Full StatGroup snapshot, flattened as "<group>.<stat>". */
     std::map<std::string, std::uint64_t> counters;

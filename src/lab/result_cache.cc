@@ -34,7 +34,8 @@ serializeConfig(const SystemConfig &c)
        << c.core.icache.assoc << '/' << c.core.icache.lineSize
        << ";core.dcache=" << c.core.dcache.sizeBytes << '/'
        << c.core.dcache.assoc << '/' << c.core.dcache.lineSize
-       << ";core.interruptPeriod=" << c.core.interruptPeriod
+       << ";core.faults=" << c.core.faults.key()
+       << ";core.sabotage=" << c.core.sabotageAbandonUcodeOnInterrupt
        << ";core.maxInsts=" << c.core.maxInsts
        << ";tr.simdWidth=" << c.translator.simdWidth
        << ";tr.permRepertoire=" << c.translator.permRepertoire

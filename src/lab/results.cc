@@ -34,6 +34,8 @@ JobResult::toJson() const
                  static_cast<std::uint64_t>(*job.over.dcacheSizeBytes));
     if (job.over.dcacheAssoc)
         over.set("dcacheAssoc", *job.over.dcacheAssoc);
+    if (job.over.faults)
+        over.set("faults", *job.over.faults);
     if (!over.members().empty())
         v.set("overrides", std::move(over));
 
@@ -44,6 +46,7 @@ JobResult::toJson() const
     v.set("translations", outcome.translations);
     v.set("aborts", outcome.aborts);
     v.set("ucodeDispatches", outcome.ucodeDispatches);
+    v.set("retranslations", outcome.retranslations);
 
     json::Value counters = json::Value::object();
     for (const auto &[stat, value] : outcome.counters)
@@ -65,6 +68,7 @@ JobResult
 JobResult::fromJson(const json::Value &v)
 {
     JobResult r;
+    bool legacy_faults = false;
     r.job.experiment = v.at("experiment").asString();
     r.job.workload = v.at("workload").asString();
     r.job.mode = modeFromName(v.at("mode").asString());
@@ -83,10 +87,27 @@ JobResult::fromJson(const json::Value &v)
                 static_cast<std::size_t>(s->asUint());
         if (const json::Value *a = over->find("dcacheAssoc"))
             r.job.over.dcacheAssoc = static_cast<unsigned>(a->asUint());
+        if (const json::Value *f = over->find("faults"))
+            r.job.over.faults = f->asString();
+        // Deprecated spelling from pre-chaos result files: a bare
+        // periodic-interrupt override maps onto its schedule key.
+        if (const json::Value *p = over->find("interruptPeriod")) {
+            r.job.over.faults = "p" + std::to_string(p->asUint());
+            legacy_faults = true;
+        }
     }
 
+    // Keys from legacy files predate the "/f<schedule>" tag the
+    // mapped faults override would add, so validate those against the
+    // untagged spelling.
     const std::string key = v.at("key").asString();
-    if (key != r.job.key())
+    bool key_ok = key == r.job.key();
+    if (!key_ok && legacy_faults) {
+        Job untagged = r.job;
+        untagged.over.faults.reset();
+        key_ok = key == untagged.key();
+    }
+    if (!key_ok)
         fatal("results: job key '", key, "' does not match its fields (",
               r.job.key(), ")");
 
@@ -97,6 +118,9 @@ JobResult::fromJson(const json::Value &v)
     r.outcome.translations = v.at("translations").asUint();
     r.outcome.aborts = v.at("aborts").asUint();
     r.outcome.ucodeDispatches = v.at("ucodeDispatches").asUint();
+    // Tolerant read: the field postdates committed baseline files.
+    if (const json::Value *rt = v.find("retranslations"))
+        r.outcome.retranslations = rt->asUint();
     for (const auto &[stat, value] : v.at("counters").members())
         r.outcome.counters[stat] = value.asUint();
     for (const auto &[addr, cycles] : v.at("callLog").members()) {

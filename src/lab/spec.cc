@@ -57,6 +57,10 @@ ConfigOverrides::tag() const
         t += "/dc" + std::to_string(*dcacheSizeBytes);
     if (dcacheAssoc)
         t += "/da" + std::to_string(*dcacheAssoc);
+    // Schedule keys are path-safe and '/'-free by construction, so the
+    // job key stays parseable.
+    if (faults)
+        t += "/f" + *faults;
     return t;
 }
 
@@ -71,6 +75,8 @@ ConfigOverrides::applyTo(SystemConfig &config) const
         config.core.dcache.sizeBytes = *dcacheSizeBytes;
     if (dcacheAssoc)
         config.core.dcache.assoc = *dcacheAssoc;
+    if (faults)
+        config.core.faults = FaultSchedule::parse(*faults);
 }
 
 std::string

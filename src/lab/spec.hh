@@ -45,6 +45,13 @@ struct ConfigOverrides
     std::optional<Cycles> translatorLatency;     ///< cycles / observed inst
     std::optional<std::size_t> dcacheSizeBytes;  ///< data cache capacity
     std::optional<unsigned> dcacheAssoc;         ///< data cache ways
+    /**
+     * Fault-injection schedule as a canonical FaultSchedule key
+     * ("p700", "int@200+flush@400", ...). Replaces the retired
+     * interruptPeriod override; legacy results files carrying
+     * "interruptPeriod": N are read back as faults = "pN".
+     */
+    std::optional<std::string> faults;
 
     /** Key suffix, e.g. "/e4" or "/lat10/dc4096"; empty if default. */
     std::string tag() const;
@@ -58,7 +65,7 @@ struct ConfigOverrides
         return ucodeEntries == o.ucodeEntries &&
                translatorLatency == o.translatorLatency &&
                dcacheSizeBytes == o.dcacheSizeBytes &&
-               dcacheAssoc == o.dcacheAssoc;
+               dcacheAssoc == o.dcacheAssoc && faults == o.faults;
     }
 };
 

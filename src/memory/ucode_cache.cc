@@ -1,5 +1,7 @@
 #include "memory/ucode_cache.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace liquid
@@ -66,7 +68,64 @@ UcodeCache::contains(Addr entry_addr) const
 void
 UcodeCache::flush()
 {
+    stats_.inc("flushes");
+    stats_.inc("flushedEntries", entries_.size());
     entries_.clear();
+}
+
+bool
+UcodeCache::invalidate(Addr entry_addr)
+{
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->entryAddr == entry_addr) {
+            entries_.erase(it);
+            stats_.inc("invalidations");
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<Addr>
+UcodeCache::invalidateRange(Addr lo, Addr hi)
+{
+    std::vector<Addr> removed;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        const Addr begin = it->entryAddr;
+        const Addr end = it->codeEnd != invalidAddr
+                             ? std::max(it->codeEnd, begin + 4)
+                             : begin + 4;
+        if (lo < end && hi > begin) {
+            removed.push_back(begin);
+            it = entries_.erase(it);
+            stats_.inc("invalidations");
+        } else {
+            ++it;
+        }
+    }
+    return removed;
+}
+
+std::vector<Addr>
+UcodeCache::entryAddrs() const
+{
+    std::vector<Addr> addrs;
+    addrs.reserve(entries_.size());
+    for (const auto &e : entries_)
+        addrs.push_back(e.entryAddr);
+    return addrs;
+}
+
+Addr
+UcodeCache::lruEntryAddr() const
+{
+    return entries_.empty() ? invalidAddr : entries_.back().entryAddr;
+}
+
+Addr
+UcodeCache::mruEntryAddr() const
+{
+    return entries_.empty() ? invalidAddr : entries_.front().entryAddr;
 }
 
 void

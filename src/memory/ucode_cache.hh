@@ -29,6 +29,13 @@ struct UcodeEntry
     std::vector<ConstVec> cvecs;    ///< constants discovered at runtime
     unsigned simdWidth = 0;         ///< width the ucode was bound to
     Cycles readyAt = 0;             ///< first cycle it may be fetched
+    /**
+     * Exclusive end of the scalar code range the entry translates
+     * ([entryAddr, codeEnd)), set by the translator at commit. Drives
+     * self-modifying-code invalidation; invalidAddr means unknown and
+     * the range degrades to the entry instruction alone.
+     */
+    Addr codeEnd = invalidAddr;
 };
 
 /** Geometry of the microcode cache. */
@@ -61,8 +68,31 @@ class UcodeCache
     /** True if the address is present, ready or not. No LRU update. */
     bool contains(Addr entry_addr) const;
 
-    /** Drop all entries. */
+    /** Drop all entries (context switch). Counted in "flushes". */
     void flush();
+
+    /**
+     * Drop the entry translated from @p entry_addr, if present.
+     * Returns true when an entry was removed.
+     */
+    bool invalidate(Addr entry_addr);
+
+    /**
+     * Drop every entry whose source code range [entryAddr, codeEnd)
+     * overlaps [lo, hi) — the self-modifying-code protocol. Entries
+     * with unknown codeEnd match on their entry instruction alone.
+     * Returns the entry addresses removed.
+     */
+    std::vector<Addr> invalidateRange(Addr lo, Addr hi);
+
+    /** Entry addresses currently resident, MRU first. */
+    std::vector<Addr> entryAddrs() const;
+
+    /** LRU victim's entry address; invalidAddr when empty. */
+    Addr lruEntryAddr() const;
+
+    /** Most recently used entry address; invalidAddr when empty. */
+    Addr mruEntryAddr() const;
 
     /**
      * Copy another cache's entries, marking them ready immediately.

@@ -68,6 +68,13 @@ class System
     const SystemConfig &config() const { return config_; }
 
   private:
+    /**
+     * Service a scheduled fault event the core cannot handle itself:
+     * microcode-cache flush/evict and SMC stores operate on the cache
+     * and translator, which the System owns.
+     */
+    void handleFault(const FaultEvent &event, Cycles now);
+
     SystemConfig config_;
     const Program &prog_;
     MainMemory mem_;

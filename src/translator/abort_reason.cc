@@ -142,6 +142,15 @@ constexpr std::array<ReasonInfo,
 
         {AbortReason::Interrupt, "interrupt", ReasonClass::Runtime,
          "an external interrupt flushed the capture"},
+        {AbortReason::UcodeFlushed, "ucodeFlushed",
+         ReasonClass::Runtime,
+         "a context switch flushed the microcode cache"},
+        {AbortReason::UcodeEvicted, "ucodeEvicted",
+         ReasonClass::Runtime,
+         "the cached translation was evicted from the microcode cache"},
+        {AbortReason::SmcInvalidated, "smcInvalidated",
+         ReasonClass::Runtime,
+         "a store into the region's code invalidated its translation"},
     }};
 
 /**

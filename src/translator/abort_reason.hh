@@ -77,6 +77,9 @@ enum class AbortReason : std::uint8_t
 
     // -- runtime: external events, not a property of the region --
     Interrupt,            ///< "interrupt"
+    UcodeFlushed,         ///< "ucodeFlushed"
+    UcodeEvicted,         ///< "ucodeEvicted"
+    SmcInvalidated,       ///< "smcInvalidated"
 
     NumReasons,
 };

@@ -93,7 +93,13 @@ Translator::abort(AbortReason reason)
     lastAbort_ = reason;
     stats_.inc("aborts");
     stats_.inc(std::string("abort.") + abortReasonName(reason));
-    if (regionEntry_ != invalidAddr && reason != AbortReason::Interrupt) {
+    if (regionEntry_ != invalidAddr)
+        pendingRetranslate_[regionEntry_] = reason;
+    // Runtime-class aborts (interrupt, cache loss, SMC) are transient
+    // properties of the environment, not of the code: never blacklist
+    // or narrow the width for them.
+    if (regionEntry_ != invalidAddr &&
+        abortReasonClass(reason) != ReasonClass::Runtime) {
         // Width-dependent failures can succeed at a narrower binding:
         // the trip count may divide a smaller width, and a shuffle or
         // lane pattern that is not W-periodic may be W/2-periodic.
@@ -157,6 +163,43 @@ Translator::onInterrupt(Cycles now)
     // External abort from the pipeline (paper Figure 5's Abort input):
     // transient, so the region is not blacklisted and may be retried.
     abort(AbortReason::Interrupt);
+}
+
+void
+Translator::noteTranslationLost(Addr entry, AbortReason reason)
+{
+    stats_.inc("translationsLost");
+    stats_.inc(std::string("lost.") + abortReasonName(reason));
+    pendingRetranslate_[entry] = reason;
+}
+
+void
+Translator::noteCodeInvalidated(Addr lo, Addr hi, AbortReason reason)
+{
+    // Overwritten code means every decision derived from the old bytes
+    // is stale: a formerly untranslatable region may now translate, and
+    // a narrower-width retry may no longer apply.
+    for (auto it = blacklist_.begin(); it != blacklist_.end();) {
+        if (*it >= lo && *it < hi)
+            it = blacklist_.erase(it);
+        else
+            ++it;
+    }
+    for (auto it = retryWidth_.begin(); it != retryWidth_.end();) {
+        if (it->first >= lo && it->first < hi)
+            it = retryWidth_.erase(it);
+        else
+            ++it;
+    }
+
+    if (mode_ == Mode::Idle || regionEntry_ == invalidAddr)
+        return;
+    const Addr capture_end =
+        ucodeStartOfStatic_.empty()
+            ? regionEntry_ + 4
+            : Program::instAddr(ucodeStartOfStatic_.rbegin()->first + 2);
+    if (lo < capture_end && hi > regionEntry_)
+        abort(reason);
 }
 
 void
@@ -919,6 +962,13 @@ Translator::commit(Cycles now)
     entry.insts = std::move(out);
     entry.cvecs = cvecs_;
     entry.simdWidth = captureWidth_;
+    // Source code range for SMC invalidation: the region spans from its
+    // entry through the last static instruction the capture observed
+    // (the ret retires one past the largest recorded index).
+    entry.codeEnd =
+        ucodeStartOfStatic_.empty()
+            ? regionEntry_ + 4
+            : Program::instAddr(ucodeStartOfStatic_.rbegin()->first + 2);
     // The translator consumes the retire stream concurrently with
     // execution; it only delays readiness when its per-instruction
     // cost exceeds the core's effective CPI.
@@ -928,6 +978,16 @@ Translator::commit(Cycles now)
 
     stats_.inc("translations");
     stats_.inc("instsTranslated", observedInsts_);
+
+    // A commit that follows a recorded loss or abort of the same region
+    // is a re-translation; count it keyed by what caused the redo.
+    auto pending = pendingRetranslate_.find(regionEntry_);
+    if (pending != pendingRetranslate_.end()) {
+        stats_.inc("retranslations");
+        stats_.inc(std::string("retranslate.") +
+                   abortReasonName(pending->second));
+        pendingRetranslate_.erase(pending);
+    }
     resetCapture();
 }
 

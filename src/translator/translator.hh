@@ -114,6 +114,24 @@ class Translator : public RetireSink
     /** Reason of the most recent abort (None if none has occurred). */
     AbortReason lastAbort() const { return lastAbort_; }
 
+    /** Entry address of the capture in flight; invalidAddr when idle. */
+    Addr captureRegion() const { return regionEntry_; }
+
+    /**
+     * An already-committed translation of @p entry was dropped from the
+     * microcode cache for @p reason (context-switch flush, eviction,
+     * SMC invalidation). Recorded so the next successful commit of the
+     * region counts as a re-translation keyed by the causing reason.
+     */
+    void noteTranslationLost(Addr entry, AbortReason reason);
+
+    /**
+     * A store hit code in [lo, hi): forget blacklist and width-retry
+     * decisions derived from the overwritten code, and abort any
+     * capture whose region overlaps the range.
+     */
+    void noteCodeInvalidated(Addr lo, Addr hi, AbortReason reason);
+
   private:
     enum class Mode
     {
@@ -232,6 +250,12 @@ class Translator : public RetireSink
     unsigned captureWidth_ = 0;
     /** Regions that must retry at a reduced width. */
     std::map<Addr, unsigned> retryWidth_;
+    /**
+     * Regions whose translation was aborted or externally dropped, with
+     * the causing reason; the next commit of such a region increments
+     * "retranslations" and "retranslate.<reason>".
+     */
+    std::map<Addr, AbortReason> pendingRetranslate_;
     /** Most recent abort reason (survives resetCapture). */
     AbortReason lastAbort_ = AbortReason::None;
 

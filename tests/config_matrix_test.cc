@@ -35,7 +35,7 @@ const ConfigCase cases[] = {
     {"slow JIT translator",
      [](SystemConfig &c) { c.translator.latencyPerInst = 25; }},
     {"interrupt storm",
-     [](SystemConfig &c) { c.core.interruptPeriod = 700; }},
+     [](SystemConfig &c) { c.core.faults = FaultSchedule::periodic(700); }},
     {"no blacklist (retry forever)",
      [](SystemConfig &c) { c.translator.blacklistOnAbort = false; }},
     {"tiny data cache",

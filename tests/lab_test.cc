@@ -298,6 +298,118 @@ TEST(LabCampaigns, SmokeMatrixShrinksButCoversTheSuite)
     }
 }
 
+TEST(LabChaos, FaultOverrideTagsTheJobKey)
+{
+    Job job;
+    job.experiment = "chaos";
+    job.workload = "fir";
+    job.mode = ExecMode::Liquid;
+    job.width = 8;
+    job.over.faults = "int@40+flush@80";
+    EXPECT_EQ(job.key(), "chaos/fir/liquid/w8/fint@40+flush@80");
+
+    // The override reaches the core's fault schedule.
+    const SystemConfig config = job.config();
+    EXPECT_EQ(config.core.faults.key(), "int@40+flush@80");
+
+    // Distinct schedules are distinct cache/config points.
+    Job other = job;
+    other.over.faults = "flush@80";
+    EXPECT_NE(job.key(), other.key());
+    EXPECT_NE(job.rngSeed(), other.rngSeed());
+}
+
+TEST(LabChaos, CampaignCoversEveryFaultKindPlusControl)
+{
+    const Campaign campaign = campaignByName("chaos", /*smoke=*/true);
+    const std::vector<Job> jobs = campaign.matrix.expand();
+    ASSERT_FALSE(jobs.empty());
+
+    std::set<std::string> schedules;
+    bool control = false;
+    for (const Job &job : jobs) {
+        EXPECT_EQ(job.mode, ExecMode::Liquid) << job.key();
+        if (job.over.faults)
+            schedules.insert(*job.over.faults);
+        else
+            control = true;
+    }
+    EXPECT_TRUE(control) << "chaos campaign lacks a fault-free control";
+    // Every fault kind appears in at least one scheduled override.
+    for (const char *tag : {"p", "int@", "flush@", "evict@", "smc@",
+                            "dcache@"}) {
+        bool found = false;
+        for (const auto &key : schedules)
+            found = found || key.rfind(tag, 0) == 0;
+        EXPECT_TRUE(found) << "no schedule starts with " << tag;
+    }
+}
+
+TEST(LabChaos, RetranslationsFlowIntoResultsJson)
+{
+    // An SMC store at retire 100 lands inside fir's first region
+    // capture, aborts it, and forces a fresh translation on the next
+    // call — a deterministic loss/re-translate cycle even at the
+    // smoke trip counts.
+    ExperimentSpec spec;
+    spec.name = "chaosrt";
+    spec.workloads = {"fir"};
+    spec.modes = {ExecMode::Liquid};
+    spec.widths = {8};
+    spec.repsList = {2};
+    ConfigOverrides over;
+    over.faults = "smc@100";
+    spec.overrides = {ConfigOverrides{}, over};
+    const ResultSet results = Runner(1).run(spec.expand());
+    ASSERT_EQ(results.size(), 2u);
+
+    const std::string text = results.writeString();
+    const ResultSet back = ResultSet::fromJson(json::parse(text));
+    EXPECT_EQ(back.writeString(), text);
+
+    const JobResult &faulted =
+        back.at("chaosrt/fir/liquid/w8/fsmc@100/reps2");
+    EXPECT_GE(faulted.outcome.retranslations, 1u);
+    EXPECT_GE(faulted.outcome.counters.at("translator.retranslations"),
+              1u);
+    // Per-AbortReason attribution survives the JSON round trip.
+    EXPECT_GE(faulted.outcome.counters.at(
+                  "translator.retranslate.smcInvalidated"),
+              1u);
+    EXPECT_GE(faulted.outcome.counters.at("core.faults.smc"), 1u);
+
+    const JobResult &control = back.at("chaosrt/fir/liquid/w8/reps2");
+    EXPECT_EQ(control.outcome.retranslations, 0u);
+    EXPECT_FALSE(control.job.over.faults.has_value());
+}
+
+TEST(LabChaos, LegacyInterruptPeriodOverrideStillParses)
+{
+    // Result files written before the chaos subsystem spelled a
+    // periodic interrupt as a bare number, untagged in the job key.
+    const char *legacy = R"({
+      "schema": "liquid-lab-results-v1",
+      "modelVersion": "liquid-sim-2026.08-1",
+      "jobs": [{
+        "key": "old/fir/liquid/w8",
+        "experiment": "old", "workload": "fir",
+        "mode": "liquid", "width": 8,
+        "overrides": {"interruptPeriod": 700},
+        "cycles": 123, "translations": 1, "aborts": 0,
+        "ucodeDispatches": 1,
+        "counters": {}, "callLog": {}
+      }]
+    })";
+    const ResultSet back = ResultSet::fromJson(json::parse(legacy));
+    const JobResult &r = back.results().front();
+    ASSERT_TRUE(r.job.over.faults.has_value());
+    EXPECT_EQ(*r.job.over.faults, "p700");
+    EXPECT_EQ(r.job.config().core.faults.interruptPeriod, 700u);
+    // Re-serializing writes the modern spelling and the modern key.
+    EXPECT_NE(back.writeString().find("\"faults\": \"p700\""),
+              std::string::npos);
+}
+
 TEST(LabStats, MergeAccumulatesCounters)
 {
     StatGroup a("a"), b("b");

@@ -776,7 +776,7 @@ TEST(TranslatorLatency, UcodeNotReadyImmediately)
 TEST(TranslatorFailureInjection, InterruptsAbortButAllowRetry)
 {
     LiquidRun r(copyLoop, 8, [](SystemConfig &c) {
-        c.core.interruptPeriod = 40;  // interrupt mid-translation
+        c.core.faults = FaultSchedule::periodic(40);  // interrupt mid-translation
     });
     EXPECT_GE(r.tstat("abort.interrupt"), 1u);
     // Interrupt aborts are transient: the region is not blacklisted.

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "chaos/fault_schedule.hh"
 #include "memory/ucode_cache.hh"
+#include "sim/system.hh"
+#include "workloads/workload.hh"
 
 namespace liquid
 {
@@ -80,10 +83,143 @@ TEST(UcodeCache, FlushEmpties)
     EXPECT_FALSE(cache.contains(0x1000));
 }
 
+TEST(UcodeCache, FlushCountsDroppedEntries)
+{
+    UcodeCache cache(UcodeCacheConfig{});
+    cache.insert(entry(0x1000));
+    cache.insert(entry(0x2000));
+    cache.insert(entry(0x3000));
+    cache.flush();
+    EXPECT_FALSE(cache.contains(0x1000));
+    EXPECT_FALSE(cache.contains(0x2000));
+    EXPECT_FALSE(cache.contains(0x3000));
+    EXPECT_EQ(cache.stats().get("flushes"), 1u);
+    EXPECT_EQ(cache.stats().get("flushedEntries"), 3u);
+    // A second flush drops nothing further.
+    cache.flush();
+    EXPECT_EQ(cache.stats().get("flushes"), 2u);
+    EXPECT_EQ(cache.stats().get("flushedEntries"), 3u);
+}
+
+TEST(UcodeCache, InvalidateWhileResidentDropsOnlyTheTarget)
+{
+    UcodeCache cache(UcodeCacheConfig{});
+    cache.insert(entry(0x1000));
+    cache.insert(entry(0x2000));
+    EXPECT_TRUE(cache.invalidate(0x1000));
+    EXPECT_FALSE(cache.contains(0x1000));
+    EXPECT_TRUE(cache.contains(0x2000));
+    EXPECT_EQ(cache.stats().get("invalidations"), 1u);
+    // Invalidating an absent entry is a no-op, not an error.
+    EXPECT_FALSE(cache.invalidate(0x1000));
+    EXPECT_EQ(cache.stats().get("invalidations"), 1u);
+}
+
+TEST(UcodeCache, InvalidateRangeUsesTranslatedCodeRange)
+{
+    UcodeCache cache(UcodeCacheConfig{});
+    UcodeEntry e = entry(0x1000);
+    e.codeEnd = 0x1020;  // translated from [0x1000, 0x1020)
+    cache.insert(e);
+
+    // Ranges outside the translated code leave the entry alone.
+    EXPECT_TRUE(cache.invalidateRange(0x0ff0, 0x1000).empty());
+    EXPECT_TRUE(cache.invalidateRange(0x1020, 0x1030).empty());
+    EXPECT_TRUE(cache.contains(0x1000));
+
+    // A store into the last translated instruction invalidates.
+    const std::vector<Addr> removed =
+        cache.invalidateRange(0x101c, 0x1020);
+    ASSERT_EQ(removed.size(), 1u);
+    EXPECT_EQ(removed[0], 0x1000u);
+    EXPECT_FALSE(cache.contains(0x1000));
+}
+
+TEST(UcodeCache, InvalidateRangeFallsBackToEntryInstruction)
+{
+    // Entries with unknown codeEnd match on the entry word alone.
+    UcodeCache cache(UcodeCacheConfig{});
+    cache.insert(entry(0x1000));
+    EXPECT_TRUE(cache.invalidateRange(0x1004, 0x1020).empty());
+    EXPECT_TRUE(cache.contains(0x1000));
+    EXPECT_EQ(cache.invalidateRange(0x1000, 0x1004).size(), 1u);
+    EXPECT_FALSE(cache.contains(0x1000));
+}
+
+TEST(UcodeCache, EntryAddrsTrackMruOrder)
+{
+    UcodeCache cache(UcodeCacheConfig{});
+    EXPECT_EQ(cache.lruEntryAddr(), invalidAddr);
+    EXPECT_EQ(cache.mruEntryAddr(), invalidAddr);
+    cache.insert(entry(0x1000));
+    cache.insert(entry(0x2000));
+    cache.insert(entry(0x3000));
+    EXPECT_EQ(cache.entryAddrs(),
+              (std::vector<Addr>{0x3000, 0x2000, 0x1000}));
+    EXPECT_EQ(cache.mruEntryAddr(), 0x3000u);
+    EXPECT_EQ(cache.lruEntryAddr(), 0x1000u);
+    // A hit refreshes LRU order.
+    EXPECT_NE(cache.lookup(0x1000, 0), nullptr);
+    EXPECT_EQ(cache.mruEntryAddr(), 0x1000u);
+    EXPECT_EQ(cache.lruEntryAddr(), 0x2000u);
+}
+
+TEST(UcodeCache, EvictionUnderExecutionLeavesLatchedCopyIntact)
+{
+    // The core latches the dispatched entry by value (its microcode
+    // execution buffer); flushing or evicting the cache mid-region
+    // must not perturb the instructions already being executed.
+    UcodeCache cache(UcodeCacheConfig{});
+    cache.insert(entry(0x1000, 0, 8));
+    const UcodeEntry latched = *cache.lookup(0x1000, 0);
+    cache.flush();
+    EXPECT_FALSE(cache.contains(0x1000));
+    EXPECT_EQ(latched.entryAddr, 0x1000u);
+    EXPECT_EQ(latched.insts.size(), 8u);
+}
+
 TEST(UcodeCacheDeath, OversizedEntryPanics)
 {
     UcodeCache cache(UcodeCacheConfig{});
     EXPECT_THROW(cache.insert(entry(0x1000, 0, 65)), PanicError);
+}
+
+TEST(UcodeCacheSystem, FlushedRegionIsRetranslatedOnNextCall)
+{
+    // End-to-end loss/recovery: a mid-run microcode-cache flush costs
+    // the resident translation, and the translator's post-retirement
+    // pipeline re-translates the region on its next scalar execution,
+    // attributing the repeat to the flush.
+    for (const auto &wl : makeSuite()) {
+        if (wl->name() != "fir")
+            continue;
+        const Workload::Build build =
+            wl->build(EmitOptions::Mode::Scalarized, 8);
+        // The flush only costs a translation once one is resident, so
+        // probe successively later retire indices until the loss is
+        // observed; the recovery assertions then apply to that run.
+        for (const std::uint64_t at :
+             {2'000u, 5'000u, 10'000u, 20'000u, 40'000u}) {
+            SystemConfig config =
+                SystemConfig::make(ExecMode::Liquid, 8);
+            config.core.faults = FaultSchedule::parse(
+                "flush@" + std::to_string(at));
+            System sys(config, build.prog);
+            sys.run();
+
+            const StatGroup &ts = sys.translator().stats();
+            EXPECT_GE(sys.core().stats().get("faults.flush"), 1u);
+            if (ts.get("translationsLost") == 0)
+                continue;
+            EXPECT_GE(ts.get("lost.ucodeFlushed"), 1u);
+            EXPECT_GE(ts.get("retranslations"), 1u);
+            EXPECT_GE(ts.get("retranslate.ucodeFlushed"), 1u);
+            return;
+        }
+        FAIL() << "no probed flush index ever caught a resident "
+                  "translation";
+    }
+    FAIL() << "fir missing from suite";
 }
 
 } // namespace
