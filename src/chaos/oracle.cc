@@ -5,6 +5,7 @@
 
 #include "asm/program.hh"
 #include "common/logging.hh"
+#include "memory/ucode_cache.hh"
 #include "sim/system.hh"
 
 namespace liquid
@@ -45,6 +46,60 @@ hex(Word w)
     std::ostringstream os;
     os << "0x" << std::hex << w;
     return os.str();
+}
+
+/**
+ * Shared Liquid-run-and-compare tail: run @p prog under @p config
+ * (optionally with @p inject pre-seeded into the microcode cache,
+ * ready at cycle 0) and diff the masked final state against @p ref.
+ */
+ChaosReport
+runLiquidAgainstReference(const ChaosReference &ref, const Program &prog,
+                          SystemConfig config, const UcodeEntry *inject)
+{
+    // Watchdog: a fault schedule may only slow a correct core down by
+    // re-translations and scalar fallback, never unboundedly. A run
+    // that retires vastly more instructions than the scalar reference
+    // is livelocked (e.g. a broken fallback dropped a loop live-out),
+    // which the oracle must report as divergence, not hang on.
+    config.core.maxInsts = std::max<std::uint64_t>(
+        ref.instsRetired * 64 + 10'000, 100'000);
+
+    System sys(config, prog);
+    if (inject) {
+        UcodeEntry entry = *inject;
+        entry.readyAt = 0;
+        sys.ucodeCache().insert(std::move(entry));
+    }
+
+    ChaosReport report;
+    try {
+        sys.run();
+    } catch (const PanicError &e) {
+        report.mismatches.push_back(
+            std::string("run did not complete: ") + e.what());
+    }
+    report.cycles = sys.cycles();
+    for (const auto &[stat, value] : sys.core().stats()) {
+        if (stat.rfind("faults.", 0) == 0)
+            report.faultsFired += value;
+    }
+    report.retranslations = sys.translator().stats().get("retranslations");
+    report.translations = sys.translator().stats().get("translations");
+
+    report.finalState = snapshotSystem(sys, prog, sys.core().callLog());
+
+    // Memory and call-log shape must match the scalar ground truth bit
+    // for bit; register residue is excluded from the cross-strategy
+    // contract (see the file header) by masking it to the reference.
+    ArchSnapshot masked = report.finalState;
+    masked.scalars = ref.snapshot.scalars;
+    masked.cmpState = ref.snapshot.cmpState;
+
+    for (auto &m : masked.diff(ref.snapshot))
+        report.mismatches.push_back(std::move(m));
+    report.equal = report.mismatches.empty();
+    return report;
 }
 
 } // namespace
@@ -132,43 +187,16 @@ checkSchedule(const ChaosReference &ref, const Program &prog,
     SystemConfig config = SystemConfig::make(ExecMode::Liquid, width);
     config.core.faults = sched;
     config.core.sabotageAbandonUcodeOnInterrupt = sabotage;
-    // Watchdog: a fault schedule may only slow a correct core down by
-    // re-translations and scalar fallback, never unboundedly. A run
-    // that retires vastly more instructions than the scalar reference
-    // is livelocked (e.g. a broken fallback dropped a loop live-out),
-    // which the oracle must report as divergence, not hang on.
-    config.core.maxInsts = std::max<std::uint64_t>(
-        ref.instsRetired * 64 + 10'000, 100'000);
+    return runLiquidAgainstReference(ref, prog, config, nullptr);
+}
 
-    System sys(config, prog);
-    ChaosReport report;
-    try {
-        sys.run();
-    } catch (const PanicError &e) {
-        report.mismatches.push_back(
-            std::string("run did not complete: ") + e.what());
-    }
-    report.cycles = sys.cycles();
-    for (const auto &[stat, value] : sys.core().stats()) {
-        if (stat.rfind("faults.", 0) == 0)
-            report.faultsFired += value;
-    }
-    report.retranslations = sys.translator().stats().get("retranslations");
-    report.translations = sys.translator().stats().get("translations");
-
-    report.finalState = snapshotSystem(sys, prog, sys.core().callLog());
-
-    // Memory and call-log shape must match the scalar ground truth bit
-    // for bit; register residue is excluded from the cross-strategy
-    // contract (see the file header) by masking it to the reference.
-    ArchSnapshot masked = report.finalState;
-    masked.scalars = ref.snapshot.scalars;
-    masked.cmpState = ref.snapshot.cmpState;
-
-    for (auto &m : masked.diff(ref.snapshot))
-        report.mismatches.push_back(std::move(m));
-    report.equal = report.mismatches.empty();
-    return report;
+ChaosReport
+checkUcodeInjection(const ChaosReference &ref, const Program &prog,
+                    unsigned width, const UcodeEntry &entry)
+{
+    const SystemConfig config =
+        SystemConfig::make(ExecMode::Liquid, width);
+    return runLiquidAgainstReference(ref, prog, config, &entry);
 }
 
 ExploreSummary

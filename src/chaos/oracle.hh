@@ -47,6 +47,7 @@ namespace liquid
 {
 
 class Program;
+struct UcodeEntry;
 
 /** The architectural state the scalar ISA promises after a run. */
 struct ArchSnapshot
@@ -105,6 +106,19 @@ struct ChaosReport
 ChaosReport checkSchedule(const ChaosReference &ref, const Program &prog,
                           unsigned width, const FaultSchedule &sched,
                           bool sabotage = false);
+
+/**
+ * Counterexample-replay hook for the translation-validation prover
+ * (proof.hh): run @p prog in Liquid mode at @p width with @p entry
+ * pre-inserted into the microcode cache, ready at cycle 0, so the core
+ * dispatches the injected microcode on the first bl instead of waiting
+ * for the translator. No faults are scheduled. A refuted (mutated or
+ * mis-translated) entry must surface here as an architectural
+ * divergence against the scalar reference.
+ */
+ChaosReport checkUcodeInjection(const ChaosReference &ref,
+                                const Program &prog, unsigned width,
+                                const UcodeEntry &entry);
 
 /** Schedule-exploration parameters. */
 struct ExploreOptions

@@ -544,6 +544,38 @@ parse(const std::string &text)
     return detail::Parser(text).parse();
 }
 
+/** True when @p schema ends in a "-v<digits>" version tag. */
+inline bool
+schemaIsVersioned(const std::string &schema)
+{
+    const std::size_t pos = schema.rfind("-v");
+    if (pos == std::string::npos || pos + 2 >= schema.size())
+        return false;
+    for (std::size_t i = pos + 2; i < schema.size(); ++i) {
+        if (schema[i] < '0' || schema[i] > '9')
+            return false;
+    }
+    return true;
+}
+
+/**
+ * The shared header every tool's machine-readable report starts from:
+ * an object carrying "schema" and "toolVersion" as its first keys (the
+ * writer preserves insertion order). Asserts the schema identifier is
+ * versioned ("...-v<N>") so consumers can dispatch on breaking layout
+ * changes.
+ */
+inline Value
+toolReport(const std::string &schema, const std::string &tool_version)
+{
+    LIQUID_ASSERT(schemaIsVersioned(schema), "tool schema '", schema,
+                  "' must carry a -v<N> version tag");
+    Value v = Value::object();
+    v.set("schema", schema);
+    v.set("toolVersion", tool_version);
+    return v;
+}
+
 } // namespace liquid::json
 
 #endif // LIQUID_COMMON_JSON_HH

@@ -11,23 +11,27 @@ namespace liquid
 namespace
 {
 
+// Saturation clamps the 32-bit *wrapped* sum/difference, not the
+// widened one: the architectural definition of qadd/qsub is the scalar
+// cmp/conditional-mov idiom the scalarizer emits (add, clamp to
+// [satMin, satMax]), and the translator rewrites that idiom to
+// Vqadd/Vqsub claiming bit-exact equivalence — which only holds if the
+// vector op reproduces the idiom's wraparound on 32-bit overflow.
+// (Found by liquid-proof translation validation and confirmed by the
+// chaos oracle: widen-then-clamp diverges at e.g. INT_MAX + 1.)
+
 Word
 satAdd(Word a, Word b)
 {
-    const std::int64_t sum = static_cast<std::int64_t>(
-                                 static_cast<SWord>(a)) +
-                             static_cast<SWord>(b);
-    return static_cast<Word>(std::clamp<std::int64_t>(sum, satMin, satMax));
+    const SWord sum = static_cast<SWord>(a + b);
+    return static_cast<Word>(std::clamp<SWord>(sum, satMin, satMax));
 }
 
 Word
 satSub(Word a, Word b)
 {
-    const std::int64_t diff = static_cast<std::int64_t>(
-                                  static_cast<SWord>(a)) -
-                              static_cast<SWord>(b);
-    return static_cast<Word>(
-        std::clamp<std::int64_t>(diff, satMin, satMax));
+    const SWord diff = static_cast<SWord>(a - b);
+    return static_cast<Word>(std::clamp<SWord>(diff, satMin, satMax));
 }
 
 } // namespace

@@ -33,6 +33,33 @@ aggregateScanSpeedups(const ScanReport &report)
     return out;
 }
 
+std::map<unsigned, std::string>
+aggregateScanProofs(const ScanReport &report)
+{
+    // Worst verdict wins: one refuted region poisons the width.
+    auto rank = [](const std::string &v) {
+        if (v == "refuted")
+            return 2;
+        if (v == "unknown")
+            return 1;
+        return 0;  // proved
+    };
+    std::map<unsigned, std::string> out;
+    for (const ScanRegion &region : report.regions) {
+        if (!region.candidate)
+            continue;
+        for (const WidthPrediction &p : region.predictions) {
+            if (p.report.proofVerdict.empty())
+                continue;
+            const auto it = out.find(p.requestedWidth);
+            if (it == out.end() ||
+                rank(p.report.proofVerdict) > rank(it->second))
+                out[p.requestedWidth] = p.report.proofVerdict;
+        }
+    }
+    return out;
+}
+
 WorkloadPrediction
 predictWorkload(const std::string &name, const ScanOptions &opts)
 {
@@ -51,8 +78,9 @@ predictWorkload(const std::string &name, const ScanOptions &opts)
 
     WorkloadPrediction pred;
     pred.workload = name;
-    pred.speedupByWidth =
-        aggregateScanSpeedups(scanProgram(build.prog, opts));
+    const ScanReport rep = scanProgram(build.prog, opts);
+    pred.speedupByWidth = aggregateScanSpeedups(rep);
+    pred.proofByWidth = aggregateScanProofs(rep);
     return pred;
 }
 
@@ -81,6 +109,9 @@ tagPredictions(ResultSet &set,
                 r.predictedSpeedup = it->second;
                 ++tagged;
             }
+            auto pit = p.proofByWidth.find(r.job.width);
+            if (pit != p.proofByWidth.end())
+                r.predictedProof = pit->second;
         }
     }
     return tagged;

@@ -39,6 +39,12 @@ struct WorkloadPrediction
      * commits are absent.
      */
     std::map<unsigned, double> speedupByWidth;
+    /**
+     * Requested width -> worst translation-proof verdict over the
+     * workload's candidate regions ("proved"/"unknown"/"refuted").
+     * Populated only when the scan ran with ScanOptions::prove.
+     */
+    std::map<unsigned, std::string> proofByWidth;
 };
 
 /**
@@ -48,6 +54,14 @@ struct WorkloadPrediction
  */
 std::map<unsigned, double>
 aggregateScanSpeedups(const ScanReport &report);
+
+/**
+ * Collapse one scan report's translation-proof verdicts into a
+ * per-width worst verdict: one refuted region poisons the width.
+ * Empty unless the scan ran with ScanOptions::prove.
+ */
+std::map<unsigned, std::string>
+aggregateScanProofs(const ScanReport &report);
 
 /**
  * Scan workload @p name — built scalarized but with NO bl.simd hints,

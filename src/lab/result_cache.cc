@@ -142,9 +142,7 @@ ResultCache::store(const std::string &hash, const Job &job,
     JobResult r;
     r.job = job;
     r.outcome = outcome;
-    json::Value v = json::Value::object();
-    v.set("schema", "liquid-lab-cache-v1");
-    v.set("modelVersion", modelVersion);
+    json::Value v = json::toolReport("liquid-lab-cache-v1", modelVersion);
     v.set("hash", hash);
     v.set("result", r.toJson());
 

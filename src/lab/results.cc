@@ -41,6 +41,8 @@ JobResult::toJson() const
 
     if (predictedSpeedup > 0.0)
         v.set("predictedSpeedup", predictedSpeedup);
+    if (!predictedProof.empty())
+        v.set("predictedProof", predictedProof);
 
     v.set("cycles", outcome.cycles);
     v.set("translations", outcome.translations);
@@ -113,6 +115,8 @@ JobResult::fromJson(const json::Value &v)
 
     if (const json::Value *p = v.find("predictedSpeedup"))
         r.predictedSpeedup = p->asDouble();
+    if (const json::Value *p = v.find("predictedProof"))
+        r.predictedProof = p->asString();
 
     r.outcome.cycles = v.at("cycles").asUint();
     r.outcome.translations = v.at("translations").asUint();
@@ -176,9 +180,7 @@ ResultSet::cycles(const std::string &key) const
 json::Value
 ResultSet::toJson() const
 {
-    json::Value v = json::Value::object();
-    v.set("schema", resultsSchema);
-    v.set("modelVersion", modelVersion);
+    json::Value v = json::toolReport(resultsSchema, modelVersion);
     json::Value jobs = json::Value::array();
     for (const auto &r : results_)
         jobs.push(r.toJson());

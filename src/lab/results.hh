@@ -38,6 +38,12 @@ struct JobResult
      * measurement on the job key without re-running the campaign.
      */
     double predictedSpeedup = 0.0;
+    /**
+     * Translation-proof verdict backing the prediction ("proved",
+     * "unknown", "refuted"; empty = untagged). Written by
+     * `liquid-lab run --predict --prove`.
+     */
+    std::string predictedProof;
     /** Served from the on-disk result cache (not serialized). */
     bool fromCache = false;
 

@@ -72,6 +72,10 @@ formatRegionReport(const RegionReport &report)
         os << "  dep: " << report.dep.proofSummary(report.predictedWidth)
            << '\n';
     }
+    if (!report.proofVerdict.empty()) {
+        os << "  proof: " << report.proofVerdict << " ("
+           << report.proofSummary << ")\n";
+    }
 
     for (const Diagnostic &d : report.diags) {
         os << "  " << severityName(d.severity);

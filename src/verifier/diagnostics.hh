@@ -84,6 +84,16 @@ struct RegionReport
     bool depMiscompile = false;
     DepcheckResult dep;
 
+    /**
+     * Translation-validation attachment (VerifyOptions::prove): the
+     * prover's verdict at the predicted width ("proved", "refuted",
+     * "unknown"), empty when the prover did not run. A Proved verdict
+     * is what upgraded a depcheck Warn to Ok; a Refuted one is a
+     * depMiscompile-style Error backed by a concrete counterexample.
+     */
+    std::string proofVerdict;
+    std::string proofSummary;      ///< one-line proof outcome
+
     // Static structure, always valid.
     unsigned blockCount = 0;       ///< CFG basic blocks
     unsigned loopCount = 0;        ///< CFG natural loops

@@ -294,4 +294,95 @@ loopIsReducible(const RegionCfg &cfg, const CfgLoop &loop,
     return latch_dom[static_cast<std::size_t>(loop.headBlock)];
 }
 
+RegSet
+ProgramLiveness::demandAt(int entry_index) const
+{
+    auto it = demand.find(entry_index);
+    return it != demand.end() ? it->second : RegSet{};
+}
+
+ProgramLiveness
+solveProgramLiveness(const Program &prog)
+{
+    ProgramLiveness pl;
+    const auto &code = prog.code();
+    if (code.empty())
+        return pl;
+
+    // Discovery: every bl target is an outlined function under the
+    // bl/ret convention. The program entry participates as a caller
+    // (its liveness after each bl is what a region's results must
+    // satisfy).
+    for (const Inst &inst : code) {
+        if (inst.op != Opcode::Bl || inst.target < 0 ||
+            inst.target >= static_cast<int>(code.size()))
+            continue;
+        ProgramLiveness::FnFacts &fi = pl.fns[inst.target];
+        ++fi.callSites;
+        if (inst.hinted) {
+            fi.hinted = true;
+            fi.widthHint = std::max(fi.widthHint,
+                                    unsigned{inst.blWidthHint});
+        }
+    }
+
+    const int mainEntry =
+        prog.hasLabel("main") ? prog.labelIndex("main") : 0;
+    pl.entries.insert(mainEntry);
+    for (const auto &[entry, fi] : pl.fns)
+        pl.entries.insert(entry);
+
+    for (const int e : pl.entries)
+        pl.cfgs.emplace(e, RegionCfg::build(prog, e));
+
+    // Joint fixpoint: alternate per-function solves with call-site
+    // demand propagation until summaries and demands stabilize. The
+    // call graph is acyclic in practice (outlined leaf regions), so
+    // entries+3 rounds bound the chain depth comfortably.
+    const std::size_t maxIters = pl.entries.size() + 3;
+    for (std::size_t iter = 0; iter < maxIters; ++iter) {
+        bool changed = false;
+        for (const int e : pl.entries) {
+            Liveness lv = Liveness::run(prog, pl.cfgs.at(e),
+                                        pl.summaries, pl.demand[e]);
+            if (pl.fns.count(e)) {
+                const FnSummary next = lv.summary();
+                auto it = pl.summaries.find(e);
+                if (it == pl.summaries.end() ||
+                    !(it->second.liveIn == next.liveIn) ||
+                    !(it->second.mayDef == next.mayDef)) {
+                    pl.summaries[e] = next;
+                    changed = true;
+                }
+            }
+            pl.live.insert_or_assign(e, std::move(lv));
+        }
+
+        std::map<int, RegSet> nextDemand;
+        for (const int e : pl.entries) {
+            const RegionCfg &cfg = pl.cfgs.at(e);
+            const Liveness &lv = pl.live.at(e);
+            for (const int c : cfg.calls()) {
+                const int target =
+                    code[static_cast<std::size_t>(c)].target;
+                auto it = pl.summaries.find(target);
+                if (it == pl.summaries.end())
+                    continue;
+                RegSet d = lv.liveAfter(c);
+                d &= it->second.mayDef;
+                nextDemand[target] |= d;
+            }
+        }
+        for (const auto &[e, d] : nextDemand) {
+            if (!(pl.demand[e] == d)) {
+                pl.demand[e] = d;
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+    }
+    return pl;
+}
+
 } // namespace liquid

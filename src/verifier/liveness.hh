@@ -26,6 +26,7 @@
 #define LIQUID_VERIFIER_LIVENESS_HH
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -165,6 +166,43 @@ class Liveness
     RegSet mayDef_;
     RegSet emptySet_;
 };
+
+/**
+ * Whole-program joint liveness solution: every bl target (hinted or
+ * not) is an outlined function under the bl/ret convention, and all
+ * functions plus the program entry are solved to a fixpoint where each
+ * call site kills the callee's mayDef and demands its liveIn, while
+ * each callee's exit-liveness is the union of what its callers read
+ * after the bl (the `demand` map — the region's live-out contract).
+ *
+ * Shared by the whole-binary scanner (region-boundary contract checks)
+ * and the translation-validation prover (which registers a proof must
+ * show equal after scalar and microcode execution).
+ */
+struct ProgramLiveness
+{
+    /** Discovery facts about one bl target. */
+    struct FnFacts
+    {
+        unsigned callSites = 0;
+        bool hinted = false;      ///< some call site carried bl.simd
+        unsigned widthHint = 0;   ///< largest bl.simd width seen
+    };
+
+    std::map<int, FnFacts> fns;       ///< discovered bl targets
+    std::set<int> entries;            ///< fns plus the program entry
+    std::map<int, RegionCfg> cfgs;    ///< per-entry region CFG
+    std::map<int, Liveness> live;     ///< per-entry solved liveness
+    std::map<int, FnSummary> summaries;
+    /** Demanded live-outs: registers some caller reads after a bl. */
+    std::map<int, RegSet> demand;
+
+    /** Demanded live-out set of one entry; empty if never called. */
+    RegSet demandAt(int entry_index) const;
+};
+
+/** Solve @p prog's interprocedural liveness to a joint fixpoint. */
+ProgramLiveness solveProgramLiveness(const Program &prog);
 
 /**
  * Dominator sets of @p cfg's blocks: result[b] lists the blocks that

@@ -123,91 +123,16 @@ scanProgram(const Program &prog, const ScanOptions &opts)
     if (code.empty())
         return rep;
 
-    // ---- 1. discovery: every bl target is an outlined function ------
-    struct FnInfo
-    {
-        unsigned callSites = 0;
-        bool hinted = false;
-        unsigned widthHint = 0;
-    };
-    std::map<int, FnInfo> fns;
-    for (const Inst &inst : code) {
-        if (inst.op != Opcode::Bl || inst.target < 0 ||
-            inst.target >= static_cast<int>(code.size()))
-            continue;
-        FnInfo &fi = fns[inst.target];
-        ++fi.callSites;
-        if (inst.hinted) {
-            fi.hinted = true;
-            fi.widthHint = std::max(fi.widthHint,
-                                    unsigned{inst.blWidthHint});
-        }
-    }
-
-    // The program entry participates as a caller (its liveness after
-    // each bl is what a region's results must satisfy) but is only
-    // reported as a region if something calls it.
-    const int mainEntry =
-        prog.hasLabel("main") ? prog.labelIndex("main") : 0;
-    std::set<int> entries{mainEntry};
-    for (const auto &[entry, fi] : fns)
-        entries.insert(entry);
-
-    std::map<int, RegionCfg> cfgs;
-    for (const int e : entries)
-        cfgs.emplace(e, RegionCfg::build(prog, e));
-
-    // ---- 2. joint liveness fixpoint over all functions --------------
-    std::map<int, FnSummary> summaries;
-    std::map<int, RegSet> demand;
-    std::map<int, Liveness> live;
-
-    const std::size_t maxIters = entries.size() + 3;
-    for (std::size_t iter = 0; iter < maxIters; ++iter) {
-        bool changed = false;
-        for (const int e : entries) {
-            Liveness lv =
-                Liveness::run(prog, cfgs.at(e), summaries, demand[e]);
-            if (fns.count(e)) {
-                const FnSummary next = lv.summary();
-                auto it = summaries.find(e);
-                if (it == summaries.end() ||
-                    !(it->second.liveIn == next.liveIn) ||
-                    !(it->second.mayDef == next.mayDef)) {
-                    summaries[e] = next;
-                    changed = true;
-                }
-            }
-            live.insert_or_assign(e, std::move(lv));
-        }
-
-        std::map<int, RegSet> nextDemand;
-        for (const int e : entries) {
-            const RegionCfg &cfg = cfgs.at(e);
-            const Liveness &lv = live.at(e);
-            for (const int c : cfg.calls()) {
-                const int target =
-                    code[static_cast<std::size_t>(c)].target;
-                auto it = summaries.find(target);
-                if (it == summaries.end())
-                    continue;
-                RegSet d = lv.liveAfter(c);
-                d &= it->second.mayDef;
-                nextDemand[target] |= d;
-            }
-        }
-        for (const auto &[e, d] : nextDemand) {
-            if (!(demand[e] == d)) {
-                demand[e] = d;
-                changed = true;
-            }
-        }
-        if (!changed)
-            break;
-    }
+    // ---- 1-2. discovery + joint liveness fixpoint -------------------
+    // Shared with the translation-validation prover, which needs the
+    // same demanded-live-out contract (see liveness.hh).
+    const ProgramLiveness pl = solveProgramLiveness(prog);
+    const auto &cfgs = pl.cfgs;
+    const auto &live = pl.live;
+    const auto &demand = pl.demand;
 
     // ---- 3. per-function contract + prediction ----------------------
-    for (const auto &[entry, fi] : fns) {
+    for (const auto &[entry, fi] : pl.fns) {
         ScanRegion r;
         r.entryIndex = entry;
         r.entryLabel = prog.labelAt(entry);
@@ -335,6 +260,7 @@ scanProgram(const Program &prog, const ScanOptions &opts)
                 vopts.config.simdWidth = w;
                 vopts.widthFallback = opts.widthFallback;
                 vopts.dep = opts.dep;
+                vopts.prove = opts.prove;
                 WidthPrediction p;
                 p.requestedWidth = w;
                 // Deliberately no width hint: the scan runs without
@@ -397,6 +323,8 @@ formatScanRegion(const ScanRegion &region)
             os << " " << abortReasonName(rr.reason) << " ("
                << abortReasonDescription(rr.reason) << ")";
         }
+        if (!rr.proofVerdict.empty())
+            os << " [proof: " << rr.proofVerdict << "]";
         os << '\n';
     }
     return os.str();

@@ -57,6 +57,13 @@ struct ScanOptions
     DepcheckOptions dep;
     /** Run the Table-1/depcheck/cost-model prediction stage. */
     bool predict = true;
+    /**
+     * Back every per-width prediction with the symbolic translation-
+     * validation prover (see proof.hh): committed widths carry a
+     * proved/refuted/unknown verdict, and a refutation downgrades the
+     * prediction to Error with the counterexample summary.
+     */
+    bool prove = false;
 };
 
 /** One width's prediction for a candidate region. */

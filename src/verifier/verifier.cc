@@ -1,11 +1,15 @@
 #include "verifier/verifier.hh"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 
 #include "translator/cost_model.hh"
+#include "translator/offline.hh"
 #include "verifier/cfg.hh"
 #include "verifier/depcheck.hh"
+#include "verifier/liveness.hh"
+#include "verifier/proof.hh"
 #include "verifier/rules.hh"
 
 namespace liquid
@@ -37,6 +41,29 @@ addCoverageDiags(const RegionCfg &cfg, const StaticOutcome &outcome,
     d.instIndex = unseen.front();
     d.message = os.str();
     report.diags.push_back(std::move(d));
+}
+
+/**
+ * Run the translation-validation prover against the microcode the
+ * offline translator commits at @p bind. nullopt when translation
+ * itself aborts (there is nothing to prove against). Replay is off:
+ * the static verifier reports the counterexample assignment but does
+ * not spin up a simulator pair.
+ */
+std::optional<WidthProof>
+proveBindWidth(const Program &prog, int entry_index, unsigned bind,
+               unsigned width_hint)
+{
+    const OfflineResult off =
+        translateOffline(prog, entry_index, bind, width_hint);
+    if (!off.ok)
+        return std::nullopt;
+    ProofOptions popts;
+    popts.replay = false;
+    return proveTranslation(prog, entry_index, off.entry,
+                            solveProgramLiveness(prog).demandAt(
+                                entry_index),
+                            popts);
 }
 
 } // namespace
@@ -162,6 +189,79 @@ verifyRegion(const Program &prog, int entry_index,
             }
 
             if (wv.kind == WidthVerdict::Kind::Unknown) {
+                // The static dependence analysis is out of its depth;
+                // the translation-validation prover (when enabled) can
+                // still settle the width by checking the microcode the
+                // translator would actually commit.
+                if (opts.prove) {
+                    const std::optional<WidthProof> po = proveBindWidth(
+                        prog, entry_index, bind, width_hint);
+                    if (po) {
+                        const WidthProof &wp = *po;
+                        report.proofVerdict =
+                            proofVerdictName(wp.verdict);
+                        report.proofSummary = wp.summary;
+
+                        if (wp.verdict == ProofVerdict::Proved) {
+                            headline_set = true;
+                            report.verdict = Severity::Ok;
+                            report.reason = AbortReason::None;
+                            report.predictedWidth = bind;
+                            report.predictedUcode = outcome.ucodeInsts;
+                            report.predictedCvecs = outcome.cvecs;
+
+                            RegionCostInputs ci;
+                            ci.scalarInsts = outcome.analyzedInsts;
+                            ci.ucodeInsts = outcome.ucodeInsts;
+                            ci.ucodeLoopInsts = outcome.ucodeLoopInsts;
+                            ci.loopIters = outcome.loopIters;
+                            ci.width = bind;
+                            const RegionCostEstimate cost =
+                                estimateRegionCost(ci);
+                            report.predictedScalarCycles =
+                                cost.scalarCycles;
+                            report.predictedSimdCycles =
+                                cost.simdCycles;
+                            report.predictedSpeedup = cost.speedup;
+
+                            Diagnostic d;
+                            d.severity = Severity::Ok;
+                            d.instIndex = entry_index;
+                            d.message =
+                                "depcheck could not resolve width " +
+                                std::to_string(bind) +
+                                ", but the translation proof closes "
+                                "it: " + wp.summary;
+                            report.diags.push_back(std::move(d));
+                            addCoverageDiags(cfg, outcome, report);
+                            return report;
+                        }
+
+                        if (wp.verdict == ProofVerdict::Refuted) {
+                            headline_set = true;
+                            report.verdict = Severity::Error;
+                            report.reason =
+                                AbortReason::MemoryDependence;
+                            report.depMiscompile = true;
+                            report.predictedWidth = bind;
+                            report.predictedUcode = outcome.ucodeInsts;
+                            report.predictedCvecs = outcome.cvecs;
+                            Diagnostic d;
+                            d.severity = Severity::Error;
+                            d.reason = AbortReason::MemoryDependence;
+                            d.instIndex = entry_index;
+                            d.message =
+                                "silent miscompile at width " +
+                                std::to_string(bind) +
+                                ", proven by translation validation: " +
+                                wp.summary;
+                            report.diags.push_back(std::move(d));
+                            return report;
+                        }
+                        // Unknown: fall through to the Warn below.
+                    }
+                }
+
                 headline(Severity::Warn, AbortReason::None);
                 std::ostringstream os;
                 os << "memoryDependence";
@@ -178,8 +278,40 @@ verifyRegion(const Program &prog, int entry_index,
             }
 
             // Depcheck proves SIMD at this width preserves scalar
-            // memory semantics: the commit is safe. Ok overrides any
-            // earlier Warn/Error headline.
+            // memory semantics: the commit is safe. The prover (when
+            // enabled) double-checks the committed microcode end to
+            // end; a refutation means depcheck and the prover
+            // disagree, and the prover holds a concrete
+            // counterexample, so it wins.
+            if (opts.prove) {
+                const std::optional<WidthProof> po = proveBindWidth(
+                    prog, entry_index, bind, width_hint);
+                if (po) {
+                    report.proofVerdict = proofVerdictName(po->verdict);
+                    report.proofSummary = po->summary;
+                    if (po->verdict == ProofVerdict::Refuted) {
+                        headline_set = true;
+                        report.verdict = Severity::Error;
+                        report.reason = AbortReason::MemoryDependence;
+                        report.depMiscompile = true;
+                        report.predictedWidth = bind;
+                        report.predictedUcode = outcome.ucodeInsts;
+                        report.predictedCvecs = outcome.cvecs;
+                        Diagnostic d;
+                        d.severity = Severity::Error;
+                        d.reason = AbortReason::MemoryDependence;
+                        d.instIndex = entry_index;
+                        d.message =
+                            "depcheck passed width " +
+                            std::to_string(bind) +
+                            " but translation validation refutes "
+                            "it: " + po->summary;
+                        report.diags.push_back(std::move(d));
+                        return report;
+                    }
+                }
+            }
+
             headline_set = true;
             report.verdict = Severity::Ok;
             report.reason = AbortReason::None;

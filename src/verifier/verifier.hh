@@ -39,6 +39,14 @@ struct VerifyOptions
      * degrades wide widths to Warn before narrow ones.
      */
     DepcheckOptions dep;
+    /**
+     * When depcheck cannot resolve a width (Warn), invoke the
+     * translation-validation prover (proof.hh) on the microcode the
+     * translator would commit: a Proved verdict upgrades the region to
+     * Ok with the proof attached, a Refuted verdict becomes a
+     * depMiscompile Error, and Unknown leaves the Warn standing.
+     */
+    bool prove = false;
 };
 
 /**

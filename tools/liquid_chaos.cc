@@ -44,6 +44,8 @@ namespace
 
 /** JSON output format identifier; bump on breaking layout changes. */
 constexpr const char *chaosSchema = "liquid-chaos-v1";
+/** Tool revision carried in the JSON header for drift detection. */
+constexpr const char *chaosToolVersion = "1.0";
 
 /**
  * Curated smoke schedules: at least one of every fault kind, at
@@ -233,8 +235,7 @@ emitReport(const Options &opts, const std::string &command,
         failures += rec.report.equal ? 0 : 1;
 
     if (opts.json) {
-        json::Value v = json::Value::object();
-        v.set("schema", chaosSchema);
+        json::Value v = json::toolReport(chaosSchema, chaosToolVersion);
         v.set("command", command);
         v.set("width", opts.width);
         v.set("checks", static_cast<std::uint64_t>(records.size()));

@@ -59,6 +59,9 @@ usage()
         "  --progress          one line per finished job\n"
         "  --predict           tag liquid results with liquid-scan's\n"
         "                      static speedup prediction\n"
+        "  --prove             with --predict: back each prediction\n"
+        "                      with the translation-validation prover\n"
+        "                      and tag its verdict\n"
         "\n"
         "diff options:\n"
         "  --tol PCT           cycle tolerance in percent (default: 2)\n";
@@ -94,6 +97,7 @@ struct RunOptions
     bool render = false;
     bool progress = false;
     bool predict = false;
+    bool prove = false;
 };
 
 int
@@ -118,8 +122,11 @@ cmdRun(const RunOptions &opt)
 
     // One scan of the unhinted suite covers every campaign's jobs.
     std::vector<WorkloadPrediction> predictions;
-    if (opt.predict)
-        predictions = predictSuite(ScanOptions{});
+    if (opt.predict) {
+        ScanOptions sopts;
+        sopts.prove = opt.prove;
+        predictions = predictSuite(sopts);
+    }
 
     bool shapesOk = true;
     for (const auto &campaign : campaigns) {
@@ -291,6 +298,8 @@ main(int argc, char **argv)
                     opt.progress = true;
                 else if (a == "--predict")
                     opt.predict = true;
+                else if (a == "--prove")
+                    opt.prove = true;
                 else
                     fatal("unknown option '", a, "'");
             }

@@ -51,6 +51,7 @@ struct Options
     std::vector<unsigned> widths{2, 4, 8, 16};
     bool fallback = true;
     bool predict = true;
+    bool prove = false;
     bool werror = false;
     bool suite = false;
     bool json = false;
@@ -67,6 +68,8 @@ usage()
         " (2,4,8,16)\n"
         "  --no-fallback    do not retry failed widths at half width\n"
         "  --no-predict     discovery and contract checks only\n"
+        "  --prove          back each prediction with the symbolic\n"
+        "                   translation-validation prover\n"
         "  --werror         treat warn verdicts as errors\n"
         "  --json           machine-readable report on stdout\n"
         "  --suite          scan every suite workload, built without\n"
@@ -115,6 +118,8 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.fallback = false;
         } else if (arg == "--no-predict") {
             opt.predict = false;
+        } else if (arg == "--prove") {
+            opt.prove = true;
         } else if (arg == "--werror") {
             opt.werror = true;
         } else if (arg == "--json") {
@@ -212,6 +217,12 @@ regionJson(const std::string &program, const ScanRegion &r)
             pj.set("simdCycles", rr.predictedSimdCycles);
             pj.set("speedup", rr.predictedSpeedup);
         }
+        if (!rr.proofVerdict.empty()) {
+            json::Value proof = json::Value::object();
+            proof.set("verdict", rr.proofVerdict);
+            proof.set("summary", rr.proofSummary);
+            pj.set("translationProof", std::move(proof));
+        }
         preds.push(std::move(pj));
     }
     v.set("predictions", std::move(preds));
@@ -236,6 +247,7 @@ main(int argc, char **argv)
     sopts.widths = opt.widths;
     sopts.widthFallback = opt.fallback;
     sopts.predict = opt.predict;
+    sopts.prove = opt.prove;
 
     try {
         std::vector<std::pair<std::string, ScanReport>> reports;
@@ -294,9 +306,8 @@ main(int argc, char **argv)
         }
 
         if (opt.json) {
-            json::Value root = json::Value::object();
-            root.set("schema", scanSchema);
-            root.set("toolVersion", scanToolVersion);
+            json::Value root =
+                json::toolReport(scanSchema, scanToolVersion);
             json::Value regionArr = json::Value::array();
             for (const auto &[name, rep] : reports) {
                 for (const ScanRegion &r : rep.regions)

@@ -20,7 +20,6 @@
  */
 
 #include <fstream>
-#include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -28,6 +27,7 @@
 #include <vector>
 
 #include "asm/assembler.hh"
+#include "common/json.hh"
 #include "verifier/verifier.hh"
 #include "workloads/workload.hh"
 
@@ -46,6 +46,7 @@ struct Options
     std::string file;
     unsigned width = 8;
     bool fallback = true;
+    bool prove = false;
     bool werror = false;
     bool suite = false;
     bool json = false;
@@ -59,6 +60,9 @@ usage()
         "       liquid-verify [options] --suite\n"
         "  -w, --width N    SIMD lanes to verify against: 2/4/8/16 (8)\n"
         "  --no-fallback    do not retry failed regions at half width\n"
+        "  --prove          settle depcheck-unknown widths (and audit\n"
+        "                   commits) with the translation-validation\n"
+        "                   prover\n"
         "  --werror         treat warn verdicts as errors\n"
         "  --json           machine-readable per-region verdicts on"
         " stdout\n"
@@ -79,6 +83,8 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.width = static_cast<unsigned>(std::stoul(argv[++i]));
         } else if (arg == "--no-fallback") {
             opt.fallback = false;
+        } else if (arg == "--prove") {
+            opt.prove = true;
         } else if (arg == "--suite") {
             opt.suite = true;
         } else if (arg == "--werror") {
@@ -109,29 +115,6 @@ parseArgs(int argc, char **argv, Options &opt)
     return true;
 }
 
-std::string
-jsonEscape(const std::string &s)
-{
-    std::ostringstream os;
-    for (const char c : s) {
-        switch (c) {
-          case '"': os << "\\\""; break;
-          case '\\': os << "\\\\"; break;
-          case '\n': os << "\\n"; break;
-          case '\t': os << "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                os << "\\u" << std::hex << std::setw(4)
-                   << std::setfill('0') << static_cast<int>(c)
-                   << std::dec;
-            } else {
-                os << c;
-            }
-        }
-    }
-    return os.str();
-}
-
 const char *
 widthVerdictName(WidthVerdict::Kind kind)
 {
@@ -143,86 +126,83 @@ widthVerdictName(WidthVerdict::Kind kind)
     return "?";
 }
 
-void
-jsonRegion(std::ostream &os, const std::string &program,
-           const RegionReport &r)
+json::Value
+regionJson(const std::string &program, const RegionReport &r)
 {
-    os << "    {\n"
-       << "      \"program\": \"" << jsonEscape(program) << "\",\n"
-       << "      \"entryLabel\": \"" << jsonEscape(r.entryLabel)
-       << "\",\n"
-       << "      \"entryIndex\": " << r.entryIndex << ",\n"
-       << "      \"requestedWidth\": " << r.requestedWidth << ",\n"
-       << "      \"widthHint\": " << r.widthHint << ",\n"
-       << "      \"verdict\": \"" << severityName(r.verdict) << "\"";
+    json::Value v = json::Value::object();
+    v.set("program", program);
+    v.set("entryLabel", r.entryLabel);
+    v.set("entryIndex", r.entryIndex);
+    v.set("requestedWidth", r.requestedWidth);
+    v.set("widthHint", r.widthHint);
+    v.set("verdict", severityName(r.verdict));
     if (r.verdict == Severity::Error) {
-        os << ",\n      \"reason\": \"" << abortReasonName(r.reason)
-           << "\",\n      \"depMiscompile\": "
-           << (r.depMiscompile ? "true" : "false");
+        v.set("reason", abortReasonName(r.reason));
+        v.set("depMiscompile", r.depMiscompile);
     }
     if (r.predictedWidth) {
-        os << ",\n      \"predicted\": {\"width\": " << r.predictedWidth
-           << ", \"ucodeInsts\": " << r.predictedUcode
-           << ", \"cvecs\": " << r.predictedCvecs << "}";
+        json::Value p = json::Value::object();
+        p.set("width", r.predictedWidth);
+        p.set("ucodeInsts", r.predictedUcode);
+        p.set("cvecs", r.predictedCvecs);
+        v.set("predicted", std::move(p));
     }
     if (r.verdict == Severity::Ok && r.predictedSpeedup > 0) {
-        os << ",\n      \"cost\": {\"scalarCycles\": "
-           << r.predictedScalarCycles << ", \"simdCycles\": "
-           << r.predictedSimdCycles << ", \"speedup\": "
-           << r.predictedSpeedup << "}";
+        json::Value c = json::Value::object();
+        c.set("scalarCycles", r.predictedScalarCycles);
+        c.set("simdCycles", r.predictedSimdCycles);
+        c.set("speedup", r.predictedSpeedup);
+        v.set("cost", std::move(c));
     }
     if (r.depAnalyzed) {
         const DepcheckResult &dep = r.dep;
-        os << ",\n      \"dep\": {\n"
-           << "        \"analyzed\": "
-           << (dep.analyzed ? "true" : "false")
-           << ", \"resolved\": " << (dep.resolved ? "true" : "false");
-        if (!dep.resolved) {
-            os << ",\n        \"unresolvedWhy\": \""
-               << jsonEscape(dep.unresolvedWhy) << "\"";
+        json::Value d = json::Value::object();
+        d.set("analyzed", dep.analyzed);
+        d.set("resolved", dep.resolved);
+        if (!dep.resolved)
+            d.set("unresolvedWhy", dep.unresolvedWhy);
+        d.set("carriedPairs", dep.carriedPairs);
+        d.set("minDistance", dep.minDistance);
+        json::Value accs = json::Value::array();
+        for (const MemAccess &a : dep.accesses) {
+            json::Value j = json::Value::object();
+            j.set("inst", a.instIndex);
+            j.set("store", a.isStore);
+            j.set("class", accessClassName(a.cls));
+            j.set("strideBytes", a.strideBytes);
+            j.set("array", a.arrayName);
+            accs.push(std::move(j));
         }
-        os << ",\n        \"carriedPairs\": " << dep.carriedPairs
-           << ", \"minDistance\": " << dep.minDistance << ",\n"
-           << "        \"accesses\": [";
-        for (std::size_t i = 0; i < dep.accesses.size(); ++i) {
-            const MemAccess &a = dep.accesses[i];
-            os << (i ? ", " : "") << "{\"inst\": " << a.instIndex
-               << ", \"store\": " << (a.isStore ? "true" : "false")
-               << ", \"class\": \"" << accessClassName(a.cls)
-               << "\", \"strideBytes\": " << a.strideBytes
-               << ", \"array\": \"" << jsonEscape(a.arrayName)
-               << "\"}";
+        d.set("accesses", std::move(accs));
+        json::Value bw = json::Value::object();
+        for (std::size_t i = 0; i < DepcheckResult::widths.size(); ++i) {
+            bw.set(std::to_string(DepcheckResult::widths[i]),
+                   widthVerdictName(dep.byWidth[i].kind));
         }
-        os << "],\n        \"byWidth\": {";
-        for (std::size_t i = 0; i < DepcheckResult::widths.size();
-             ++i) {
-            const WidthVerdict &wv = dep.byWidth[i];
-            os << (i ? ", " : "") << "\""
-               << DepcheckResult::widths[i] << "\": \""
-               << widthVerdictName(wv.kind) << "\"";
-        }
-        os << "}";
-        if (r.verdict == Severity::Ok && r.predictedWidth) {
-            os << ",\n        \"proof\": \""
-               << jsonEscape(dep.proofSummary(r.predictedWidth))
-               << "\"";
-        }
-        os << "\n      }";
+        d.set("byWidth", std::move(bw));
+        if (r.verdict == Severity::Ok && r.predictedWidth)
+            d.set("proof", dep.proofSummary(r.predictedWidth));
+        v.set("dep", std::move(d));
     }
-    os << ",\n      \"diags\": [\n";
-    for (std::size_t i = 0; i < r.diags.size(); ++i) {
-        const Diagnostic &d = r.diags[i];
-        os << "        {\"severity\": \"" << severityName(d.severity)
-           << "\"";
+    if (!r.proofVerdict.empty()) {
+        json::Value p = json::Value::object();
+        p.set("verdict", r.proofVerdict);
+        p.set("summary", r.proofSummary);
+        v.set("translationProof", std::move(p));
+    }
+    json::Value diags = json::Value::array();
+    for (const Diagnostic &d : r.diags) {
+        json::Value j = json::Value::object();
+        j.set("severity", severityName(d.severity));
         if (d.severity == Severity::Error)
-            os << ", \"reason\": \"" << abortReasonName(d.reason)
-               << "\"";
+            j.set("reason", abortReasonName(d.reason));
         if (d.instIndex >= 0)
-            os << ", \"inst\": " << d.instIndex;
-        os << ", \"message\": \"" << jsonEscape(d.message) << "\"}"
-           << (i + 1 < r.diags.size() ? "," : "") << '\n';
+            j.set("inst", d.instIndex);
+        j.set("message", d.message);
+        diags.push(std::move(j));
     }
-    os << "      ]\n    }";
+    v.set("diags", std::move(diags));
+    return v;
 }
 
 /** Verify one program, appending its regions to the tallies. */
@@ -233,6 +213,7 @@ report(const Program &prog, const std::string &name, const Options &opt,
     VerifyOptions vopts;
     vopts.config.simdWidth = opt.width;
     vopts.widthFallback = opt.fallback;
+    vopts.prove = opt.prove;
 
     ProgramReport rep = verifyProgram(prog, vopts);
     for (RegionReport &r : rep.regions)
@@ -282,19 +263,18 @@ main(int argc, char **argv)
         }
 
         if (opt.json) {
-            std::cout << "{\n  \"schema\": \"" << verifySchema
-                      << "\",\n  \"toolVersion\": \""
-                      << verifyToolVersion << "\",\n"
-                      << "  \"regions\": [\n";
-            for (std::size_t i = 0; i < regions.size(); ++i) {
-                jsonRegion(std::cout, regions[i].first,
-                           regions[i].second);
-                std::cout << (i + 1 < regions.size() ? "," : "")
-                          << '\n';
-            }
-            std::cout << "  ],\n  \"summary\": {\"ok\": " << ok
-                      << ", \"warn\": " << warn << ", \"error\": "
-                      << error << "}\n}\n";
+            json::Value root =
+                json::toolReport(verifySchema, verifyToolVersion);
+            json::Value arr = json::Value::array();
+            for (const auto &[name, r] : regions)
+                arr.push(regionJson(name, r));
+            root.set("regions", std::move(arr));
+            json::Value summary = json::Value::object();
+            summary.set("ok", ok);
+            summary.set("warn", warn);
+            summary.set("error", error);
+            root.set("summary", std::move(summary));
+            std::cout << root.toString() << '\n';
         } else {
             std::string last_program;
             for (const auto &[name, r] : regions) {
