@@ -95,15 +95,31 @@ estimateRegionCost(const RegionCostInputs &in)
 
     est.scalarCycles = static_cast<double>(in.scalarInsts);
 
+    // The walk observed one calling context; a proven trip bound above
+    // it generalizes both sides of the ratio to the worst-case caller.
+    unsigned long iters = in.loopIters;
+    if (in.tripBound > iters) {
+        if (in.loopIters > 0) {
+            est.scalarCycles *= static_cast<double>(in.tripBound) /
+                                static_cast<double>(in.loopIters);
+        }
+        iters = in.tripBound;
+    }
+
     // Non-loop microcode (prologue/epilogue) runs once; each loop-body
     // slot runs once per vector group of `width` scalar iterations.
     const unsigned straight = in.ucodeInsts >= in.ucodeLoopInsts
                                   ? in.ucodeInsts - in.ucodeLoopInsts
                                   : 0;
-    const unsigned groups = (in.loopIters + in.width - 1) / in.width;
+    const unsigned long groups = (iters + in.width - 1) / in.width;
     est.simdCycles = static_cast<double>(straight) +
                      static_cast<double>(in.ucodeLoopInsts) *
                          static_cast<double>(groups);
+    // A vector access not provably aligned to the full vector span
+    // splits across a line boundary: one extra cycle per group.
+    if (in.minAlignBytes != 0 &&
+        in.minAlignBytes < in.width * 4 && in.ucodeLoopInsts > 0)
+        est.simdCycles += static_cast<double>(groups);
     if (est.simdCycles > 0)
         est.speedup = est.scalarCycles / est.simdCycles;
     return est;

@@ -77,6 +77,20 @@ struct RegionCostInputs
     unsigned ucodeLoopInsts = 0; ///< committed slots inside loop bodies
     unsigned loopIters = 0;      ///< scalar iterations across all loops
     unsigned width = 0;          ///< bound SIMD width
+
+    // liquid-range refinements (0 = unknown / not proven).
+    /**
+     * Proven upper bound on scalar loop iterations over every calling
+     * context. The abstract walk observes one context; when the bound
+     * exceeds it, the estimate is scaled to the worst-case context.
+     */
+    unsigned long tripBound = 0;
+    /**
+     * Weakest proven byte alignment over the region's memory
+     * accesses. A vector group whose accesses are not aligned to the
+     * full vector span (width * 4 bytes) pays a line-split penalty.
+     */
+    unsigned minAlignBytes = 0;
 };
 
 struct RegionCostEstimate

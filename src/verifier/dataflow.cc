@@ -10,14 +10,30 @@ AbsMachine::read(RegId id) const
 {
     if (!id.isValid())
         return AbsVal::top();
-    return regs_[id.flat()];
+    const unsigned flat = id.flat();
+    if (regs_[flat].known && !regFacts_[flat].empty())
+        noteFact(regFacts_[flat]);
+    return regs_[flat];
+}
+
+void
+AbsMachine::noteFact(const std::string &fact) const
+{
+    for (const std::string &f : factsUsed_) {
+        if (f == fact)
+            return;
+    }
+    factsUsed_.push_back(fact);
 }
 
 void
 AbsMachine::write(RegId id, AbsVal v)
 {
-    if (id.isValid())
+    if (id.isValid()) {
         regs_[id.flat()] = v;
+        // The entry fact no longer describes a redefined register.
+        regFacts_[id.flat()].clear();
+    }
 }
 
 AbsVal
@@ -125,6 +141,19 @@ AbsMachine::step(const Inst &inst, int index, Taken &taken)
             if (prog_.readInitialElem(ea.value, info.memElemSize,
                                       info.memSigned, raw))
                 value = AbsVal::of(raw);
+        }
+        // Writable memory is normally Top, but the whole-program
+        // range analysis may have pinned the cell's entry contents;
+        // the clobbered() guard keeps the region's own stores honest.
+        if (!value.known && ea.known && facts_ &&
+            !clobbered(ea.value, info.memElemSize)) {
+            Word raw = 0;
+            std::string fact;
+            if (facts_->readCell(ea.value, info.memElemSize,
+                                 info.memSigned, raw, fact)) {
+                value = AbsVal::of(raw);
+                noteFact(fact);
+            }
         }
         condWrite(inst.dst, value);
         ri.value = value;

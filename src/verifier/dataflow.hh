@@ -26,6 +26,8 @@
 #define LIQUID_VERIFIER_DATAFLOW_HH
 
 #include <array>
+#include <string>
+#include <vector>
 
 #include "asm/program.hh"
 
@@ -64,13 +66,53 @@ enum class Taken : std::int8_t
     Unknown = -1,
 };
 
+/**
+ * Facts a whole-program analysis proved about a region's entry
+ * environment: registers pinned to one value over every call site,
+ * and writable memory cells whose contents are known at entry. The
+ * dataflow machine consults these where it would otherwise drop to
+ * Top, so runtime-dependent Warns become concrete verdicts. Each hit
+ * reports a human-readable `fact` naming the evidence (surfaced in
+ * diagnostics as `range:` lines). Implemented by `RangeFacts`
+ * (`range.hh`); null means no external analysis ran.
+ */
+class EntryFacts
+{
+  public:
+    virtual ~EntryFacts() = default;
+
+    /** Value of @p reg at region entry, if proven constant. */
+    virtual bool entryReg(RegId reg, Word &value,
+                          std::string &fact) const = 0;
+
+    /**
+     * Contents of the writable cell [addr, addr+size) at region
+     * entry, if proven constant (read like MainMemory::readElem).
+     */
+    virtual bool readCell(Addr addr, unsigned size, bool sign_extend,
+                          Word &value, std::string &fact) const = 0;
+};
+
 /** The abstract machine state for one region walk. */
 class AbsMachine
 {
   public:
-    explicit AbsMachine(const Program &prog) : prog_(prog)
+    explicit AbsMachine(const Program &prog,
+                        const EntryFacts *facts = nullptr)
+        : prog_(prog), facts_(facts)
     {
         regs_.fill(AbsVal::top());
+        if (facts_) {
+            for (unsigned flat = 0; flat < regs_.size(); ++flat) {
+                Word value = 0;
+                std::string fact;
+                if (facts_->entryReg(RegId::fromFlat(flat), value,
+                                     fact)) {
+                    regs_[flat] = AbsVal::of(value);
+                    regFacts_[flat] = std::move(fact);
+                }
+            }
+        }
     }
 
     /**
@@ -87,6 +129,15 @@ class AbsMachine
     bool flagsKnown() const { return flagsKnown_; }
 
     AbsVal reg(RegId id) const { return read(id); }
+
+    /**
+     * The external facts this walk actually consumed (deduplicated,
+     * in first-use order) — the evidence a verdict now depends on.
+     */
+    const std::vector<std::string> &factsUsed() const
+    {
+        return factsUsed_;
+    }
 
   private:
     AbsVal read(RegId id) const;
@@ -111,13 +162,19 @@ class AbsMachine
         unsigned size;
     };
 
+    /** Record that @p fact fed a resolved value (deduplicated). */
+    void noteFact(const std::string &fact) const;
+
     const Program &prog_;
+    const EntryFacts *facts_ = nullptr;
     std::array<AbsVal, 4 * regsPerClass> regs_;
+    std::array<std::string, 4 * regsPerClass> regFacts_;
     bool flagsKnown_ = false;
     int cmpState_ = 0;
     int lastCmpIndex_ = -1;
     std::vector<StoreRange> stores_;
     bool unknownStore_ = false;
+    mutable std::vector<std::string> factsUsed_;
 };
 
 } // namespace liquid

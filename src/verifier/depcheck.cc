@@ -55,6 +55,7 @@ struct WalkStop
 {
     std::string why;
     int index;
+    DepReason reason;
 };
 
 /**
@@ -67,12 +68,11 @@ struct WalkStop
 std::vector<MemEvent>
 walkRegion(const Program &prog, int entry_index,
            const std::vector<LoopRange> &loops,
-           const DepcheckOptions &opts)
+           const DepcheckOptions &opts, AbsMachine &machine)
 {
     std::vector<MemEvent> events;
     std::vector<unsigned> iterOf(loops.size(), 0);
 
-    AbsMachine machine(prog);
     const auto &code = prog.code();
     int pc = entry_index;
     unsigned long steps = 0;
@@ -80,20 +80,23 @@ walkRegion(const Program &prog, int entry_index,
     for (;;) {
         if (++steps > opts.stepBudget)
             throw WalkStop{"region exceeds the analysis step budget",
-                           pc};
+                           pc, DepReason::StepBudget};
         if (pc < 0 || pc >= static_cast<int>(code.size()))
-            throw WalkStop{"control flow leaves the program text", pc};
+            throw WalkStop{"control flow leaves the program text", pc,
+                           DepReason::LeavesText};
 
         const Inst &inst = code[pc];
         if (inst.op == Opcode::Ret || inst.op == Opcode::Halt)
             break;
         if (inst.op == Opcode::Bl)
-            throw WalkStop{"call inside the region", pc};
+            throw WalkStop{"call inside the region", pc,
+                           DepReason::NestedCall};
 
         Taken taken = Taken::No;
         const AbsRetire ri = machine.step(inst, pc, taken);
         if (inst.op == Opcode::B && taken == Taken::Unknown)
-            throw WalkStop{"branch depends on runtime data", pc};
+            throw WalkStop{"branch depends on runtime data", pc,
+                           DepReason::RuntimeBranch};
 
         const OpInfo &info = inst.info();
         if (info.isLoad || info.isStore) {
@@ -104,11 +107,12 @@ walkRegion(const Program &prog, int entry_index,
                         "predicated memory access inside a loop: the "
                         "translated microcode executes it on every "
                         "lane",
-                        pc};
+                        pc, DepReason::PredicatedAccess};
                 }
                 if (!ri.memAddr.known) {
                     throw WalkStop{
-                        "memory address depends on runtime data", pc};
+                        "memory address depends on runtime data", pc,
+                        DepReason::RuntimeAddress};
                 }
                 events.push_back(MemEvent{
                     loop, iterOf[static_cast<std::size_t>(loop)], pc,
@@ -217,6 +221,24 @@ accessClassName(AccessClass cls)
     return "unknown";
 }
 
+const char *
+depReasonName(DepReason reason)
+{
+    switch (reason) {
+      case DepReason::None: return "none";
+      case DepReason::StepBudget: return "stepBudget";
+      case DepReason::LeavesText: return "leavesText";
+      case DepReason::NestedCall: return "nestedCall";
+      case DepReason::RuntimeBranch: return "runtimeBranch";
+      case DepReason::PredicatedAccess: return "predicatedAccess";
+      case DepReason::RuntimeAddress: return "runtimeAddress";
+      case DepReason::PairBudgetAtWidth: return "pairBudgetAtWidth";
+      case DepReason::PairBudgetBefore: return "pairBudgetBefore";
+      case DepReason::OutsideLadder: return "outsideLadder";
+    }
+    return "none";
+}
+
 const WidthVerdict &
 DepcheckResult::verdictAt(unsigned width) const
 {
@@ -227,7 +249,8 @@ DepcheckResult::verdictAt(unsigned width) const
     // Widths outside the ladder are never proven.
     static const WidthVerdict unknown{
         WidthVerdict::Kind::Unknown, DepPair{},
-        "width outside the analyzed ladder"};
+        "width outside the analyzed ladder",
+        DepReason::OutsideLadder, false};
     return unknown;
 }
 
@@ -287,19 +310,24 @@ analyzeDeps(const Program &prog, int entry_index, const RegionCfg &cfg,
     result.loopsAnalyzed = static_cast<unsigned>(loops.size());
 
     std::vector<MemEvent> events;
+    AbsMachine machine(prog, opts.facts);
     try {
-        events = walkRegion(prog, entry_index, loops, opts);
+        events = walkRegion(prog, entry_index, loops, opts, machine);
     } catch (const WalkStop &stop) {
         result.resolved = false;
         result.unresolvedWhy = stop.why;
+        result.unresolvedReason = stop.reason;
         result.unresolvedIndex = stop.index;
+        result.factsUsed = machine.factsUsed();
         for (auto &v : result.byWidth) {
             v.kind = WidthVerdict::Kind::Unknown;
             v.why = stop.why;
+            v.reason = stop.reason;
         }
         return result;
     }
     result.resolved = true;
+    result.factsUsed = machine.factsUsed();
     result.eventCount = static_cast<unsigned>(events.size());
     result.accesses = classifyAccesses(prog, events);
 
@@ -321,6 +349,7 @@ analyzeDeps(const Program &prog, int entry_index, const RegionCfg &cfg,
             verdict.kind = WidthVerdict::Kind::Unknown;
             verdict.why = "dependence pair-test budget exhausted "
                           "before this width";
+            verdict.reason = DepReason::PairBudgetBefore;
             continue;
         }
         verdict.kind = WidthVerdict::Kind::Safe;
@@ -362,6 +391,8 @@ analyzeDeps(const Program &prog, int entry_index, const RegionCfg &cfg,
                             verdict.why =
                                 "dependence pair-test budget "
                                 "exhausted at this width";
+                            verdict.reason =
+                                DepReason::PairBudgetAtWidth;
                             break;
                         }
                         if (!overlaps(a, b) || a.iter == b.iter)

@@ -83,6 +83,28 @@ struct DepPair
     bool orderFlips = false;
 };
 
+/**
+ * Machine-readable cause of an `Unknown` verdict (the free-form `why`
+ * string stays alongside as the human description). Stable codes are
+ * surfaced in liquid-verify-v2 JSON; extend at the end only.
+ */
+enum class DepReason : std::uint8_t
+{
+    None,              ///< verdict is not Unknown
+    StepBudget,        ///< abstract walk exceeded stepBudget
+    LeavesText,        ///< control flow left the program text
+    NestedCall,        ///< bl inside the region
+    RuntimeBranch,     ///< branch depends on runtime data
+    PredicatedAccess,  ///< conditional load/store inside a loop
+    RuntimeAddress,    ///< effective address depends on runtime data
+    PairBudgetAtWidth, ///< pair-test budget died at this width
+    PairBudgetBefore,  ///< pair-test budget died at a narrower width
+    OutsideLadder,     ///< width not in the analyzed ladder
+};
+
+/** Stable JSON code for @p reason (camelCase, e.g. "stepBudget"). */
+const char *depReasonName(DepReason reason);
+
 /** Per-width safety decision. */
 struct WidthVerdict
 {
@@ -94,8 +116,13 @@ struct WidthVerdict
     };
     Kind kind = Kind::Unknown;
     DepPair pair;     ///< valid when Unsafe
-    std::string why;  ///< valid when Unknown
+    std::string why;  ///< human description (Unknown / range proofs)
+    DepReason reason = DepReason::None;  ///< machine code for Unknown
+    /** True when the range analysis discharged this width to Safe. */
+    bool viaRange = false;
 };
+
+class EntryFacts;
 
 /** Analysis limits. */
 struct DepcheckOptions
@@ -109,6 +136,12 @@ struct DepcheckOptions
      * wide ones degrade to Unknown.
      */
     unsigned long pairBudget = 1ul << 24;
+    /**
+     * Proven region-entry facts (registers / memory cells) from the
+     * whole-program range analysis; the walk's AbsMachine resolves
+     * values through them instead of degrading to runtime-dependent.
+     */
+    const EntryFacts *facts = nullptr;
 };
 
 /** The complete dependence analysis of one region. */
@@ -120,7 +153,10 @@ struct DepcheckResult
     bool analyzed = false;   ///< region had loops and the walk ran
     bool resolved = false;   ///< walk completed with concrete addresses
     std::string unresolvedWhy;
+    DepReason unresolvedReason = DepReason::None;
     int unresolvedIndex = -1;
+    /** External range facts the walk consumed (for diagnostics). */
+    std::vector<std::string> factsUsed;
 
     unsigned loopsAnalyzed = 0;
     unsigned eventCount = 0;      ///< dynamic load/store executions

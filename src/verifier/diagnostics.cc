@@ -76,6 +76,11 @@ formatRegionReport(const RegionReport &report)
         os << "  proof: " << report.proofVerdict << " ("
            << report.proofSummary << ")\n";
     }
+    if (!report.rangeFacts.empty() || report.rangeDischarged > 0) {
+        os << "  range: " << report.rangeFacts.size()
+           << " entry fact(s) consumed, " << report.rangeDischarged
+           << " dep verdict(s) discharged\n";
+    }
 
     for (const Diagnostic &d : report.diags) {
         os << "  " << severityName(d.severity);

@@ -94,6 +94,16 @@ struct RegionReport
     std::string proofVerdict;
     std::string proofSummary;      ///< one-line proof outcome
 
+    /**
+     * Range-analysis attachment (VerifyOptions::ranges): the proven
+     * entry facts the mirror/depcheck walks consumed (each also
+     * surfaced as a `range:` Ok diagnostic), and how many depcheck
+     * width verdicts the footprint/congruence argument discharged to
+     * Safe past the pair-test budget.
+     */
+    std::vector<std::string> rangeFacts;
+    unsigned rangeDischarged = 0;
+
     // Static structure, always valid.
     unsigned blockCount = 0;       ///< CFG basic blocks
     unsigned loopCount = 0;        ///< CFG natural loops

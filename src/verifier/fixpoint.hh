@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Generic round-robin dataflow fixpoint engine over a RegionCfg.
+ *
+ * Both liveness (backward, set union) and the value-range analysis
+ * (forward, interval x congruence with widening) iterate per-block
+ * transfer functions to a fixpoint; this header hoists the shared
+ * worklist so every analysis states only its lattice and transfer.
+ *
+ * A problem `P` is a duck-typed value with:
+ *
+ *   using State = ...;                 // lattice element
+ *   static constexpr bool forward;     // sweep direction
+ *   State initial(std::size_t b);      // join identity / first guess
+ *   bool  isBoundary(std::size_t b);   // boundary(b) contributes here
+ *   State boundary(std::size_t b);     // boundary contribution
+ *   bool  pinBoundary();               // boundary REPLACES edge joins
+ *   State noEdges(std::size_t b);      // gather when no in-edges
+ *   void  join(State &acc, const State &other);
+ *   void  edge(std::size_t from, std::size_t to, State &s);
+ *                                      // refine a neighbor's state as
+ *                                      // it crosses edge from->to
+ *   State transfer(std::size_t b, const State &gathered);
+ *   bool  equal(const State &a, const State &b);
+ *   bool  widenAt(std::size_t b);      // widening point (loop head)
+ *   void  widen(State &next, const State &prev); // next = prev nabla next
+ *
+ * The engine gathers each block's input from its CFG neighbors
+ * (predecessors when forward, successors when backward), applies the
+ * transfer, and sweeps round-robin until nothing changes. Widening
+ * kicks in at designated blocks after `widenDelay` visits; after
+ * convergence, `narrowSweeps` extra sweeps recompute without widening
+ * (a descending iteration that stays above the least fixpoint).
+ */
+
+#ifndef LIQUID_VERIFIER_FIXPOINT_HH
+#define LIQUID_VERIFIER_FIXPOINT_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "verifier/cfg.hh"
+
+namespace liquid
+{
+
+/** Engine knobs; defaults suit finite-height lattices (no widening). */
+struct FixParams
+{
+    /** Visits of a widening block before widening engages. */
+    unsigned widenDelay = 2;
+    /** Decreasing recompute sweeps after the widened fixpoint. */
+    unsigned narrowSweeps = 0;
+    /** Sweep cap; 0 picks a generous default from the block count. */
+    unsigned maxSweeps = 0;
+};
+
+/**
+ * Solved per-block frames. `in` is the gathered input (liveOut for a
+ * backward problem), `out` the transferred result (liveIn backward).
+ */
+template <typename State>
+struct FixSolution
+{
+    std::vector<State> in;
+    std::vector<State> out;
+    /** False when maxSweeps was hit; callers must degrade soundly. */
+    bool converged = false;
+    unsigned sweeps = 0;
+};
+
+template <typename P>
+FixSolution<typename P::State>
+fixSolve(const RegionCfg &cfg, P &p, const FixParams &params = {})
+{
+    using State = typename P::State;
+    const auto &blocks = cfg.blocks();
+    const std::size_t n = blocks.size();
+
+    FixSolution<State> sol;
+    sol.in.reserve(n);
+    sol.out.reserve(n);
+    for (std::size_t b = 0; b < n; ++b) {
+        sol.in.push_back(p.initial(b));
+        sol.out.push_back(p.initial(b));
+    }
+    if (n == 0) {
+        sol.converged = true;
+        return sol;
+    }
+
+    const unsigned max_sweeps =
+        params.maxSweeps ? params.maxSweeps
+                         : 16 + 72 * static_cast<unsigned>(n);
+    std::vector<unsigned> visits(n, 0);
+
+    auto gather = [&](std::size_t b) {
+        const BasicBlock &bb = blocks[b];
+        const bool at_boundary = p.isBoundary(b);
+        State acc = at_boundary ? p.boundary(b) : p.initial(b);
+        if (at_boundary && p.pinBoundary())
+            return acc;
+        const auto &neighbors = P::forward ? bb.preds : bb.succs;
+        if (neighbors.empty() && !at_boundary)
+            return p.noEdges(b);
+        for (const int nb : neighbors) {
+            const auto nbi = static_cast<std::size_t>(nb);
+            State s = sol.out[nbi];
+            if (P::forward)
+                p.edge(nbi, b, s);
+            else
+                p.edge(b, nbi, s);
+            p.join(acc, s);
+        }
+        return acc;
+    };
+
+    auto sweep = [&](bool widening) {
+        bool changed = false;
+        for (std::size_t k = 0; k < n; ++k) {
+            const std::size_t b = P::forward ? k : n - 1 - k;
+            State in = gather(b);
+            if (widening && p.widenAt(b) &&
+                ++visits[b] > params.widenDelay)
+                p.widen(in, sol.in[b]);
+            State out = p.transfer(b, in);
+            if (!p.equal(in, sol.in[b]) || !p.equal(out, sol.out[b])) {
+                sol.in[b] = std::move(in);
+                sol.out[b] = std::move(out);
+                changed = true;
+            }
+        }
+        return changed;
+    };
+
+    for (; sol.sweeps < max_sweeps; ++sol.sweeps) {
+        if (!sweep(true)) {
+            sol.converged = true;
+            break;
+        }
+    }
+    if (sol.converged) {
+        for (unsigned s = 0; s < params.narrowSweeps; ++s) {
+            ++sol.sweeps;
+            if (!sweep(false))
+                break;
+        }
+    }
+    return sol;
+}
+
+} // namespace liquid
+
+#endif // LIQUID_VERIFIER_FIXPOINT_HH

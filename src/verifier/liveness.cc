@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "verifier/fixpoint.hh"
+
 namespace liquid
 {
 
@@ -134,6 +136,98 @@ transferInst(const Inst &inst, const std::map<int, FnSummary> &callees,
     live |= fx.uses;
 }
 
+/** Backward liveness as a fixpoint.hh problem (lattice: RegSet). */
+struct LivenessProblem
+{
+    using State = RegSet;
+    static constexpr bool forward = false;
+
+    const Program &prog;
+    const RegionCfg &cfg;
+    const std::map<int, FnSummary> &callees;
+    const RegSet &exitLive;
+
+    bool
+    blockExits(std::size_t b) const
+    {
+        const BasicBlock &bb = cfg.blocks()[b];
+        const Inst &last =
+            prog.code()[static_cast<std::size_t>(bb.last)];
+        if (last.op == Opcode::Ret || last.op == Opcode::Halt)
+            return true;
+        // A block with no successors whose path leaves the text.
+        return bb.succs.empty();
+    }
+
+    State initial(std::size_t) const { return {}; }
+    bool isBoundary(std::size_t b) const { return blockExits(b); }
+    State boundary(std::size_t) const { return exitLive; }
+    bool pinBoundary() const { return false; }
+    State noEdges(std::size_t) const { return {}; }
+    void join(State &acc, const State &other) const { acc |= other; }
+    void edge(std::size_t, std::size_t, State &) const {}
+    bool
+    equal(const State &a, const State &b) const
+    {
+        return a == b;
+    }
+    bool widenAt(std::size_t) const { return false; }
+    void widen(State &, const State &) const {}
+
+    State
+    transfer(std::size_t b, const State &out) const
+    {
+        const BasicBlock &bb = cfg.blocks()[b];
+        RegSet in = out;
+        for (int i = bb.last; i >= bb.first; --i)
+            transferInst(prog.code()[static_cast<std::size_t>(i)],
+                         callees, in);
+        return in;
+    }
+};
+
+/** Forward dominator sets as a fixpoint.hh problem (meet: AND). */
+struct DominatorProblem
+{
+    using State = std::vector<bool>;
+    static constexpr bool forward = true;
+
+    std::size_t n;
+    std::size_t entry;
+
+    State initial(std::size_t) const { return State(n, true); }
+    bool isBoundary(std::size_t b) const { return b == entry; }
+    State boundary(std::size_t) const { return State(n, false); }
+    bool pinBoundary() const { return true; }
+    State noEdges(std::size_t) const { return State(n, false); }
+
+    void
+    join(State &acc, const State &other) const
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            acc[i] = acc[i] && other[i];
+    }
+
+    void edge(std::size_t, std::size_t, State &) const {}
+
+    State
+    transfer(std::size_t b, const State &gathered) const
+    {
+        State dom = gathered;
+        dom[b] = true;
+        return dom;
+    }
+
+    bool
+    equal(const State &a, const State &b) const
+    {
+        return a == b;
+    }
+
+    bool widenAt(std::size_t) const { return false; }
+    void widen(State &, const State &) const {}
+};
+
 } // namespace
 
 Liveness
@@ -160,46 +254,15 @@ Liveness::run(const Program &prog, const RegionCfg &cfg,
     }
 
     // Per-block fixpoint: liveOut(b) = U liveIn(succ), region exits
-    // (ret / falls off the text) see exit_live.
-    std::vector<RegSet> blockIn(blocks.size());
-    std::vector<RegSet> blockOut(blocks.size());
-
-    auto blockExits = [&](const BasicBlock &bb) {
-        const Inst &last = code[static_cast<std::size_t>(bb.last)];
-        if (last.op == Opcode::Ret || last.op == Opcode::Halt)
-            return true;
-        // A block with no successors whose path leaves the text.
-        return bb.succs.empty();
-    };
-
-    bool changed = true;
-    while (changed) {
-        changed = false;
-        for (std::size_t b = blocks.size(); b-- > 0;) {
-            const BasicBlock &bb = blocks[b];
-            RegSet out;
-            if (blockExits(bb))
-                out = exit_live;
-            for (const int s : bb.succs)
-                out |= blockIn[static_cast<std::size_t>(s)];
-
-            RegSet in = out;
-            for (int i = bb.last; i >= bb.first; --i)
-                transferInst(code[static_cast<std::size_t>(i)],
-                             callees, in);
-
-            if (!(out == blockOut[b]) || !(in == blockIn[b])) {
-                blockOut[b] = out;
-                blockIn[b] = in;
-                changed = true;
-            }
-        }
-    }
+    // (ret / falls off the text) see exit_live. The round-robin
+    // solver lives in fixpoint.hh, shared with the range analysis.
+    LivenessProblem problem{prog, cfg, callees, exit_live};
+    FixSolution<RegSet> sol = fixSolve(cfg, problem);
 
     // Materialize per-instruction sets from the solved block frames.
     for (std::size_t b = 0; b < blocks.size(); ++b) {
         const BasicBlock &bb = blocks[b];
-        RegSet live = blockOut[b];
+        RegSet live = sol.in[b];
         for (int i = bb.last; i >= bb.first; --i) {
             if (!cfg.contains(i))
                 continue;
@@ -213,7 +276,7 @@ Liveness::run(const Program &prog, const RegionCfg &cfg,
     const int entry_block = cfg.blockOf(cfg.entryIndex());
     if (entry_block >= 0)
         lv.entryLive_ =
-            blockIn[static_cast<std::size_t>(entry_block)];
+            sol.out[static_cast<std::size_t>(entry_block)];
     return lv;
 }
 
@@ -240,46 +303,15 @@ Liveness::entryLiveIn() const
 std::vector<std::vector<bool>>
 blockDominators(const RegionCfg &cfg)
 {
-    const auto &blocks = cfg.blocks();
-    const std::size_t n = blocks.size();
-    std::vector<std::vector<bool>> dom(
-        n, std::vector<bool>(n, true));
+    const std::size_t n = cfg.blocks().size();
     if (n == 0)
-        return dom;
+        return {};
 
-    const int entry =
-        std::max(cfg.blockOf(cfg.entryIndex()), 0);
-    for (std::size_t b = 0; b < n; ++b) {
-        if (static_cast<int>(b) != entry)
-            continue;
-        dom[b].assign(n, false);
-        dom[b][b] = true;
-    }
-
-    bool changed = true;
-    while (changed) {
-        changed = false;
-        for (std::size_t b = 0; b < n; ++b) {
-            if (static_cast<int>(b) == entry)
-                continue;
-            std::vector<bool> next(n, true);
-            bool any_pred = false;
-            for (const int p : blocks[b].preds) {
-                any_pred = true;
-                const auto &pd = dom[static_cast<std::size_t>(p)];
-                for (std::size_t i = 0; i < n; ++i)
-                    next[i] = next[i] && pd[i];
-            }
-            if (!any_pred)
-                next.assign(n, false);
-            next[b] = true;
-            if (next != dom[b]) {
-                dom[b] = std::move(next);
-                changed = true;
-            }
-        }
-    }
-    return dom;
+    const std::size_t entry = static_cast<std::size_t>(
+        std::max(cfg.blockOf(cfg.entryIndex()), 0));
+    DominatorProblem problem{n, entry};
+    FixSolution<std::vector<bool>> sol = fixSolve(cfg, problem);
+    return std::move(sol.out);
 }
 
 bool

@@ -12,6 +12,7 @@
 #include "translator/abort_reason.hh"
 #include "translator/offline.hh"
 #include "verifier/cfg.hh"
+#include "verifier/range.hh"
 #include "verifier/symexec.hh"
 
 namespace liquid
@@ -232,13 +233,14 @@ struct DischargeOut
     unsigned closedEnum = 0;
     unsigned unknown = 0;
     std::uint64_t points = 0;
+    unsigned pinned = 0;  ///< leaves pinned by region-entry range facts
     std::optional<Counterexample> ce;
     std::string firstUnknown;
 };
 
 DischargeOut
 dischargeAll(TermPool &pool, const std::vector<Obligation> &obs,
-             unsigned max_leaves)
+             unsigned max_leaves, const EntryFacts *facts = nullptr)
 {
     DischargeOut out;
     out.obligations = static_cast<unsigned>(obs.size());
@@ -268,33 +270,65 @@ dischargeAll(TermPool &pool, const std::vector<Obligation> &obs,
         leaves.erase(std::unique(leaves.begin(), leaves.end()),
                      leaves.end());
 
-        if (leaves.size() > max_leaves) {
+        // Region-entry range facts pin proven-constant memory leaves
+        // to singleton domains: they stop counting against the leaf
+        // budget and their corner sweep collapses to one point.
+        std::vector<std::optional<Word>> pins(leaves.size());
+        std::size_t npinned = 0;
+        if (facts) {
+            for (std::size_t i = 0; i < leaves.size(); ++i) {
+                if (leaves[i]->kind != TermKind::Sym)
+                    continue;
+                const SymDecl &d = pool.decl(leaves[i]->sym);
+                if (d.kind != SymDecl::Kind::Mem)
+                    continue;
+                Word v = 0;
+                std::string fact;
+                if (facts->readCell(d.addr, d.size, d.isSigned, v,
+                                    fact)) {
+                    pins[i] = v;
+                    ++npinned;
+                }
+            }
+        }
+        const std::size_t free_leaves = leaves.size() - npinned;
+
+        if (free_leaves > max_leaves) {
             noteUnknown(ob, "too many distinct leaves (" +
                                 std::to_string(leaves.size()) + ")");
             continue;
         }
 
+        // Pinned obligations bypass the shape cache: the alpha-renamed
+        // key cannot see which elements are pinned, so sharing results
+        // across differently-pinned obligations would be unsound.
         std::string key;
-        {
+        if (npinned == 0) {
             std::map<TermRef, int> seen;
             shapeKey(pool, ob.lhs, seen, key);
             key += '|';
             shapeKey(pool, ob.rhs, seen, key);
+            auto hit = cache.find(key);
+            if (hit != cache.end()) {
+                if (hit->second)
+                    ++out.closedEnum;
+                else
+                    noteUnknown(ob,
+                                "same shape as an unknown obligation");
+                continue;
+            }
         }
-        auto hit = cache.find(key);
-        if (hit != cache.end()) {
-            if (hit->second)
-                ++out.closedEnum;
-            else
-                noteUnknown(ob, "same shape as an unknown obligation");
-            continue;
-        }
+        out.pinned += static_cast<unsigned>(npinned);
 
-        const std::vector<Word> &tier = tierFor(leaves.size());
+        const std::vector<Word> &tier = tierFor(free_leaves);
         std::vector<std::vector<Word>> doms;
         doms.reserve(leaves.size());
-        for (TermRef l : leaves)
-            doms.push_back(domainFor(pool, l, tier));
+        for (std::size_t i = 0; i < leaves.size(); ++i) {
+            if (pins[i])
+                doms.push_back({*pins[i]});
+            else
+                doms.push_back(domainFor(pool, leaves[i], tier));
+        }
 
         std::vector<std::size_t> idx(leaves.size(), 0);
         std::unordered_map<TermRef, Word> env;
@@ -347,7 +381,8 @@ dischargeAll(TermPool &pool, const std::vector<Obligation> &obs,
             out.verdict = ProofVerdict::Refuted;
             return out;
         }
-        cache.emplace(std::move(key), true);
+        if (npinned == 0)
+            cache.emplace(std::move(key), true);
         ++out.closedEnum;
     }
     if (out.unknown > 0)
@@ -458,13 +493,17 @@ fillFromDischarge(WidthProof &wp, const DischargeOut &d)
     wp.closedEnum = d.closedEnum;
     wp.unknownObligations = d.unknown;
     wp.enumPoints = d.points;
+    wp.rangePinned = d.pinned;
     wp.ce = d.ce;
     std::ostringstream os;
     switch (d.verdict) {
       case ProofVerdict::Proved:
         os << "proved: " << d.obligations << " obligations ("
            << d.closedStructural << " structural, " << d.closedEnum
-           << " enumerated over " << d.points << " points)";
+           << " enumerated over " << d.points << " points";
+        if (d.pinned > 0)
+            os << ", " << d.pinned << " leaves range-pinned";
+        os << ")";
         break;
       case ProofVerdict::Refuted:
         os << "refuted: " << (d.ce ? d.ce->obligation : "obligation");
@@ -941,7 +980,12 @@ trySymbolicN(const Program &prog, int entry_index, unsigned width_hint,
         obs.push_back({lhs, rhs, "lane-generic store"});
     }
 
-    const DischargeOut d = dischargeAll(pool, obs, opts.maxEnumLeaves);
+    std::optional<RangeFacts> rangeFacts;
+    if (opts.ranges && opts.ranges->sound)
+        rangeFacts.emplace(prog, *opts.ranges, entry_index);
+    const DischargeOut d =
+        dischargeAll(pool, obs, opts.maxEnumLeaves,
+                     rangeFacts ? &*rangeFacts : nullptr);
     sn.obligations = d.obligations;
     sn.enumPoints = d.points;
     if (d.verdict != ProofVerdict::Proved) {
@@ -1092,7 +1136,12 @@ proveTranslation(const Program &prog, int entry_index,
                        "live-out " + regName(r)});
     }
 
-    fillFromDischarge(wp, dischargeAll(pool, obs, opts.maxEnumLeaves));
+    std::optional<RangeFacts> rangeFacts;
+    if (opts.ranges && opts.ranges->sound)
+        rangeFacts.emplace(prog, *opts.ranges, entry_index);
+    fillFromDischarge(wp,
+                      dischargeAll(pool, obs, opts.maxEnumLeaves,
+                                   rangeFacts ? &*rangeFacts : nullptr));
     return wp;
 }
 

@@ -45,6 +45,8 @@
 namespace liquid
 {
 
+struct ProgramRanges;
+
 /** Outcome of one proof attempt. */
 enum class ProofVerdict : std::uint8_t
 {
@@ -98,6 +100,8 @@ struct WidthProof
     unsigned closedEnum = 0;        ///< closed by enumeration
     unsigned unknownObligations = 0;
     std::uint64_t enumPoints = 0;   ///< concrete points evaluated
+    /** Enumeration leaves pinned to proven region-entry constants. */
+    unsigned rangePinned = 0;
     std::optional<Counterexample> ce;
     /** Covered by the single width-generic (symbolic-N) proof. */
     bool widthGeneric = false;
@@ -149,6 +153,18 @@ struct ProofOptions
     std::uint64_t maxSteps = 1'000'000;
     /** Obligations with more distinct leaves than this are Unknown. */
     unsigned maxEnumLeaves = 8;
+    /**
+     * Whole-program value-range analysis (range.hh). When set and
+     * sound, an initial-memory leaf whose cell the analysis proves
+     * constant at region entry enumerates only that value: it stops
+     * counting against maxEnumLeaves and its corner sweep collapses
+     * to one point. The equivalence claim correspondingly narrows
+     * from all syntactic environments to the environments the program
+     * can actually reach — which is what the verifier asserts.
+     * Refutations remain realizable (the pinned value is the one the
+     * program image produces).
+     */
+    const ProgramRanges *ranges = nullptr;
 };
 
 /**

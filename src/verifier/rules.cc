@@ -929,11 +929,12 @@ class StaticAutomaton
 
 StaticOutcome
 analyzeRegion(const Program &prog, int entry_index,
-              const TranslatorConfig &config, unsigned capture_width)
+              const TranslatorConfig &config, unsigned capture_width,
+              const EntryFacts *facts)
 {
     StaticOutcome out;
     StaticAutomaton automaton(prog, config, capture_width);
-    AbsMachine machine(prog);
+    AbsMachine machine(prog, facts);
     std::set<int> visited;
 
     const auto &code = prog.code();
@@ -1000,6 +1001,7 @@ analyzeRegion(const Program &prog, int entry_index,
 
     out.analyzedInsts = automaton.observed();
     out.visited.assign(visited.begin(), visited.end());
+    out.factsUsed = machine.factsUsed();
     return out;
 }
 

@@ -49,16 +49,23 @@ struct StaticOutcome
 
     unsigned analyzedInsts = 0;   ///< abstract retires observed
     std::vector<int> visited;     ///< distinct instruction indices walked
+    /** External range facts the walk consumed (for diagnostics). */
+    std::vector<std::string> factsUsed;
 };
+
+class EntryFacts;
 
 /**
  * Statically analyze the region entered at @p entry_index, bound at
  * @p capture_width lanes (the caller applies the width hint and any
- * fallback halving, mirroring Translator::onCall).
+ * fallback halving, mirroring Translator::onCall). @p facts supplies
+ * proven region-entry values from the whole-program range analysis;
+ * null reproduces the facts-free walk.
  */
 StaticOutcome analyzeRegion(const Program &prog, int entry_index,
                             const TranslatorConfig &config,
-                            unsigned capture_width);
+                            unsigned capture_width,
+                            const EntryFacts *facts = nullptr);
 
 } // namespace liquid
 

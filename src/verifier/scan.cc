@@ -252,6 +252,9 @@ scanProgram(const Program &prog, const ScanOptions &opts)
         r.candidate =
             r.hasLoop && r.contractVerdict != Severity::Error;
 
+        if (opts.ranges && opts.ranges->sound)
+            r.tripCountBound = opts.ranges->tripBound(entry);
+
         // ---- prediction stage ---------------------------------------
         if (r.candidate && opts.predict) {
             for (const unsigned w : opts.widths) {
@@ -261,6 +264,7 @@ scanProgram(const Program &prog, const ScanOptions &opts)
                 vopts.widthFallback = opts.widthFallback;
                 vopts.dep = opts.dep;
                 vopts.prove = opts.prove;
+                vopts.ranges = opts.ranges;
                 WidthPrediction p;
                 p.requestedWidth = w;
                 // Deliberately no width hint: the scan runs without
@@ -304,6 +308,9 @@ formatScanRegion(const ScanRegion &region)
        << " liveIn=[" << region.liveIn.str() << "]"
        << " liveOut=[" << region.liveOutDemanded.str() << "]"
        << " iv=[" << region.ivRegs.str() << "]\n";
+    if (!region.tripCountBound.isTop() && !region.tripCountBound.empty())
+        os << "  proven trip-count bound: "
+           << region.tripCountBound.str() << '\n';
 
     for (const Diagnostic &d : region.contractDiags) {
         os << "  contract " << severityName(d.severity);

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "verifier/liveness.hh"
+#include "verifier/range.hh"
 #include "verifier/verifier.hh"
 
 namespace liquid
@@ -64,6 +65,14 @@ struct ScanOptions
      * prediction to Error with the counterexample summary.
      */
     bool prove = false;
+    /**
+     * Whole-program value-range analysis (range.hh). When set and
+     * sound, entry facts and budget discharges flow into every
+     * per-width prediction (VerifyOptions::ranges), and proven loop
+     * trip-count bounds and access alignment refine the cost model
+     * and are surfaced per region (ScanRegion::tripCountBound).
+     */
+    const ProgramRanges *ranges = nullptr;
 };
 
 /** One width's prediction for a candidate region. */
@@ -100,6 +109,13 @@ struct ScanRegion
 
     /** Survived discovery + contract: worth predicting. */
     bool candidate = false;
+
+    /**
+     * Proven scalar-iteration bound over all calling contexts
+     * (ScanOptions::ranges); top when no bound was proven or the
+     * analysis did not run.
+     */
+    Interval tripCountBound = Interval::top();
 
     std::vector<WidthPrediction> predictions;
 

@@ -10,6 +10,7 @@
 #include "verifier/depcheck.hh"
 #include "verifier/liveness.hh"
 #include "verifier/proof.hh"
+#include "verifier/range.hh"
 #include "verifier/rules.hh"
 
 namespace liquid
@@ -52,7 +53,7 @@ addCoverageDiags(const RegionCfg &cfg, const StaticOutcome &outcome,
  */
 std::optional<WidthProof>
 proveBindWidth(const Program &prog, int entry_index, unsigned bind,
-               unsigned width_hint)
+               unsigned width_hint, const ProgramRanges *ranges)
 {
     const OfflineResult off =
         translateOffline(prog, entry_index, bind, width_hint);
@@ -60,6 +61,7 @@ proveBindWidth(const Program &prog, int entry_index, unsigned bind,
         return std::nullopt;
     ProofOptions popts;
     popts.replay = false;
+    popts.ranges = ranges;
     return proveTranslation(prog, entry_index, off.entry,
                             solveProgramLiveness(prog).demandAt(
                                 entry_index),
@@ -105,14 +107,75 @@ verifyRegion(const Program &prog, int entry_index,
         return report;
     }
 
+    // Proven region-entry facts from the whole-program range analysis
+    // feed both abstract walks (the rule mirror and depcheck).
+    std::optional<RangeFacts> rangeFacts;
+    const EntryFacts *facts = nullptr;
+    if (opts.ranges && opts.ranges->sound) {
+        rangeFacts.emplace(prog, *opts.ranges, entry_index);
+        facts = &*rangeFacts;
+    }
+    DepcheckOptions depOpts = opts.dep;
+    depOpts.facts = facts;
+
+    auto noteFacts = [&](const std::vector<std::string> &used) {
+        for (const std::string &f : used) {
+            if (std::find(report.rangeFacts.begin(),
+                          report.rangeFacts.end(),
+                          f) == report.rangeFacts.end())
+                report.rangeFacts.push_back(f);
+        }
+    };
+
+    /** One `range:` Ok diagnostic per consumed fact (deduplicated). */
+    auto attachRangeEvidence = [&]() {
+        for (const std::string &f : report.rangeFacts) {
+            const std::string msg = "range: " + f;
+            bool seen = false;
+            for (const Diagnostic &d : report.diags)
+                seen = seen || d.message == msg;
+            if (seen)
+                continue;
+            Diagnostic d;
+            d.severity = Severity::Ok;
+            d.instIndex = entry_index;
+            d.message = msg;
+            report.diags.push_back(std::move(d));
+        }
+    };
+
+    /** Feed proven trip bounds and access alignment to the cost model. */
+    auto refineCost = [&](RegionCostInputs &ci) {
+        if (!opts.ranges || !opts.ranges->sound)
+            return;
+        const Interval trip = opts.ranges->tripBound(entry_index);
+        if (!trip.isTop() && !trip.empty() && trip.hi > 0 &&
+            trip.hi > static_cast<std::int64_t>(ci.loopIters))
+            ci.tripBound = static_cast<unsigned long>(trip.hi);
+        unsigned align = 0;
+        for (const int i : cfg.instructions()) {
+            if (!prog.code()[i].isMem())
+                continue;
+            const unsigned a =
+                static_cast<unsigned>(opts.ranges->accessAlign(i));
+            align = align == 0 ? a : std::min(align, a);
+        }
+        ci.minAlignBytes = align;
+    };
+
     // Memory-dependence analysis is width-independent (it resolves all
     // candidate widths in one walk); run it lazily, at most once.
     bool dep_ran = false;
     auto depResult = [&]() -> const DepcheckResult & {
         if (!dep_ran) {
-            report.dep = analyzeDeps(prog, entry_index, cfg, opts.dep);
+            report.dep = analyzeDeps(prog, entry_index, cfg, depOpts);
             report.depAnalyzed = true;
             dep_ran = true;
+            noteFacts(report.dep.factsUsed);
+            if (opts.ranges) {
+                report.rangeDischarged = dischargeDeps(
+                    prog, entry_index, *opts.ranges, report.dep);
+            }
         }
         return report.dep;
     };
@@ -146,9 +209,10 @@ verifyRegion(const Program &prog, int entry_index,
     };
 
     for (; bind >= 2; bind /= 2) {
-        const StaticOutcome outcome =
-            analyzeRegion(prog, entry_index, opts.config, bind);
+        const StaticOutcome outcome = analyzeRegion(
+            prog, entry_index, opts.config, bind, facts);
         report.analyzedInsts = outcome.analyzedInsts;
+        noteFacts(outcome.factsUsed);
 
         if (outcome.verdict == Severity::Ok) {
             const DepcheckResult &dep = depResult();
@@ -195,7 +259,8 @@ verifyRegion(const Program &prog, int entry_index,
                 // translator would actually commit.
                 if (opts.prove) {
                     const std::optional<WidthProof> po = proveBindWidth(
-                        prog, entry_index, bind, width_hint);
+                        prog, entry_index, bind, width_hint,
+                        opts.ranges);
                     if (po) {
                         const WidthProof &wp = *po;
                         report.proofVerdict =
@@ -216,6 +281,7 @@ verifyRegion(const Program &prog, int entry_index,
                             ci.ucodeLoopInsts = outcome.ucodeLoopInsts;
                             ci.loopIters = outcome.loopIters;
                             ci.width = bind;
+                            refineCost(ci);
                             const RegionCostEstimate cost =
                                 estimateRegionCost(ci);
                             report.predictedScalarCycles =
@@ -233,6 +299,7 @@ verifyRegion(const Program &prog, int entry_index,
                                 ", but the translation proof closes "
                                 "it: " + wp.summary;
                             report.diags.push_back(std::move(d));
+                            attachRangeEvidence();
                             addCoverageDiags(cfg, outcome, report);
                             return report;
                         }
@@ -277,6 +344,18 @@ verifyRegion(const Program &prog, int entry_index,
                 continue;
             }
 
+            if (wv.viaRange) {
+                // The pair-test budget died here, but the range
+                // analysis closed the width; record the proof.
+                Diagnostic d;
+                d.severity = Severity::Ok;
+                d.instIndex = entry_index;
+                d.message = wv.why + " (discharged past the pair-test "
+                            "budget at width " +
+                            std::to_string(bind) + ")";
+                report.diags.push_back(std::move(d));
+            }
+
             // Depcheck proves SIMD at this width preserves scalar
             // memory semantics: the commit is safe. The prover (when
             // enabled) double-checks the committed microcode end to
@@ -285,7 +364,7 @@ verifyRegion(const Program &prog, int entry_index,
             // counterexample, so it wins.
             if (opts.prove) {
                 const std::optional<WidthProof> po = proveBindWidth(
-                    prog, entry_index, bind, width_hint);
+                    prog, entry_index, bind, width_hint, opts.ranges);
                 if (po) {
                     report.proofVerdict = proofVerdictName(po->verdict);
                     report.proofSummary = po->summary;
@@ -325,6 +404,7 @@ verifyRegion(const Program &prog, int entry_index,
             ci.ucodeLoopInsts = outcome.ucodeLoopInsts;
             ci.loopIters = outcome.loopIters;
             ci.width = bind;
+            refineCost(ci);
             const RegionCostEstimate cost = estimateRegionCost(ci);
             report.predictedScalarCycles = cost.scalarCycles;
             report.predictedSimdCycles = cost.simdCycles;
@@ -339,6 +419,7 @@ verifyRegion(const Program &prog, int entry_index,
                << outcome.loopsVerified << " verified loop(s))";
             d.message = os.str();
             report.diags.push_back(std::move(d));
+            attachRangeEvidence();
             addCoverageDiags(cfg, outcome, report);
             return report;
         }
@@ -390,9 +471,12 @@ verifyRegion(const Program &prog, int entry_index,
         }
 
         if (!opts.widthFallback ||
-            !abortIsWidthDependent(outcome.reason))
+            !abortIsWidthDependent(outcome.reason)) {
+            attachRangeEvidence();
             return report;
+        }
     }
+    attachRangeEvidence();
     return report;
 }
 

@@ -22,6 +22,8 @@
 namespace liquid
 {
 
+struct ProgramRanges;
+
 /** Verification options. */
 struct VerifyOptions
 {
@@ -47,6 +49,15 @@ struct VerifyOptions
      * depMiscompile Error, and Unknown leaves the Warn standing.
      */
     bool prove = false;
+    /**
+     * Whole-program value-range analysis (range.hh). When set and
+     * sound, proven region-entry facts seed the rule-mirror and
+     * depcheck walks (turning runtime-dependent Warns into concrete
+     * verdicts), and pair-budget-exhausted depcheck Unknowns are
+     * discharged by footprint disjointness or congruence separation.
+     * Every consumed fact is attached to the report.
+     */
+    const ProgramRanges *ranges = nullptr;
 };
 
 /**

@@ -25,6 +25,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -32,6 +33,7 @@
 #include "asm/assembler.hh"
 #include "common/json.hh"
 #include "lab/predict.hh"
+#include "verifier/range.hh"
 #include "verifier/scan.hh"
 #include "workloads/workload.hh"
 
@@ -40,10 +42,14 @@ using namespace liquid;
 namespace
 {
 
-/** JSON output format identifier; bump on breaking layout changes. */
-constexpr const char *scanSchema = "liquid-scan-v1";
+/**
+ * JSON output format identifier; bump on breaking layout changes.
+ * v2: regions gained tripCountBound (liquid-range proven iteration
+ * bound, present when --ranges proves one).
+ */
+constexpr const char *scanSchema = "liquid-scan-v2";
 /** Tool revision carried in the JSON header for drift detection. */
-constexpr const char *scanToolVersion = "1.0";
+constexpr const char *scanToolVersion = "2.0";
 
 struct Options
 {
@@ -52,6 +58,7 @@ struct Options
     bool fallback = true;
     bool predict = true;
     bool prove = false;
+    bool ranges = false;
     bool werror = false;
     bool suite = false;
     bool json = false;
@@ -70,6 +77,9 @@ usage()
         "  --no-predict     discovery and contract checks only\n"
         "  --prove          back each prediction with the symbolic\n"
         "                   translation-validation prover\n"
+        "  --ranges         seed discovery and the cost model with the\n"
+        "                   interprocedural value-range analysis\n"
+        "                   (trip-count bounds, access alignment)\n"
         "  --werror         treat warn verdicts as errors\n"
         "  --json           machine-readable report on stdout\n"
         "  --suite          scan every suite workload, built without\n"
@@ -120,6 +130,8 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.predict = false;
         } else if (arg == "--prove") {
             opt.prove = true;
+        } else if (arg == "--ranges") {
+            opt.ranges = true;
         } else if (arg == "--werror") {
             opt.werror = true;
         } else if (arg == "--json") {
@@ -185,6 +197,8 @@ regionJson(const std::string &program, const ScanRegion &r)
     v.set("contractVerdict", severityName(r.contractVerdict));
     v.set("verdict", severityName(r.overallVerdict()));
     v.set("candidate", r.candidate);
+    if (!r.tripCountBound.isTop() && !r.tripCountBound.empty())
+        v.set("tripCountBound", r.tripCountBound.str());
 
     json::Value diags = json::Value::array();
     for (const Diagnostic &d : r.contractDiags) {
@@ -250,6 +264,19 @@ main(int argc, char **argv)
     sopts.prove = opt.prove;
 
     try {
+        // Per-program scan; --ranges solves the interprocedural
+        // value-range analysis first and hands the facts to discovery,
+        // depcheck and the cost model.
+        auto scanOne = [&](const Program &prog) {
+            ScanOptions s = sopts;
+            std::optional<ProgramRanges> pr;
+            if (opt.ranges) {
+                pr.emplace(solveProgramRanges(prog));
+                s.ranges = &*pr;
+            }
+            return scanProgram(prog, s);
+        };
+
         std::vector<std::pair<std::string, ScanReport>> reports;
         if (opt.suite) {
             for (const auto &wl : makeSuite()) {
@@ -258,8 +285,7 @@ main(int argc, char **argv)
                 const Workload::Build build =
                     wl->build(EmitOptions::Mode::Scalarized, 8,
                               /*hinted=*/false);
-                reports.emplace_back(wl->name(),
-                                     scanProgram(build.prog, sopts));
+                reports.emplace_back(wl->name(), scanOne(build.prog));
             }
         } else {
             std::ifstream in(opt.file);
@@ -270,7 +296,7 @@ main(int argc, char **argv)
             std::ostringstream source;
             source << in.rdbuf();
             const Program prog = assemble(source.str());
-            reports.emplace_back(opt.file, scanProgram(prog, sopts));
+            reports.emplace_back(opt.file, scanOne(prog));
         }
 
         unsigned regions = 0, candidates = 0;

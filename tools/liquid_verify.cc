@@ -21,6 +21,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -28,6 +29,7 @@
 
 #include "asm/assembler.hh"
 #include "common/json.hh"
+#include "verifier/range.hh"
 #include "verifier/verifier.hh"
 #include "workloads/workload.hh"
 
@@ -36,10 +38,14 @@ using namespace liquid;
 namespace
 {
 
-/** JSON output format identifier; bump on breaking layout changes. */
-constexpr const char *verifySchema = "liquid-verify-v1";
+/**
+ * JSON output format identifier; bump on breaking layout changes.
+ * v2: byWidth entries became objects {verdict, reason, why, viaRange}
+ * and regions gained range{facts, discharged} under --ranges.
+ */
+constexpr const char *verifySchema = "liquid-verify-v2";
 /** Tool revision carried in the JSON header for drift detection. */
-constexpr const char *verifyToolVersion = "1.0";
+constexpr const char *verifyToolVersion = "2.0";
 
 struct Options
 {
@@ -47,6 +53,7 @@ struct Options
     unsigned width = 8;
     bool fallback = true;
     bool prove = false;
+    bool ranges = false;
     bool werror = false;
     bool suite = false;
     bool json = false;
@@ -63,6 +70,8 @@ usage()
         "  --prove          settle depcheck-unknown widths (and audit\n"
         "                   commits) with the translation-validation\n"
         "                   prover\n"
+        "  --ranges         seed the verifier with the interprocedural\n"
+        "                   value-range analysis (liquid-range facts)\n"
         "  --werror         treat warn verdicts as errors\n"
         "  --json           machine-readable per-region verdicts on"
         " stdout\n"
@@ -85,6 +94,8 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.fallback = false;
         } else if (arg == "--prove") {
             opt.prove = true;
+        } else if (arg == "--ranges") {
+            opt.ranges = true;
         } else if (arg == "--suite") {
             opt.suite = true;
         } else if (arg == "--werror") {
@@ -176,8 +187,17 @@ regionJson(const std::string &program, const RegionReport &r)
         d.set("accesses", std::move(accs));
         json::Value bw = json::Value::object();
         for (std::size_t i = 0; i < DepcheckResult::widths.size(); ++i) {
+            const WidthVerdict &wv = dep.byWidth[i];
+            json::Value e = json::Value::object();
+            e.set("verdict", widthVerdictName(wv.kind));
+            if (wv.reason != DepReason::None)
+                e.set("reason", depReasonName(wv.reason));
+            if (!wv.why.empty())
+                e.set("why", wv.why);
+            if (wv.viaRange)
+                e.set("viaRange", true);
             bw.set(std::to_string(DepcheckResult::widths[i]),
-                   widthVerdictName(dep.byWidth[i].kind));
+                   std::move(e));
         }
         d.set("byWidth", std::move(bw));
         if (r.verdict == Severity::Ok && r.predictedWidth)
@@ -189,6 +209,15 @@ regionJson(const std::string &program, const RegionReport &r)
         p.set("verdict", r.proofVerdict);
         p.set("summary", r.proofSummary);
         v.set("translationProof", std::move(p));
+    }
+    if (!r.rangeFacts.empty() || r.rangeDischarged > 0) {
+        json::Value rg = json::Value::object();
+        rg.set("discharged", r.rangeDischarged);
+        json::Value facts = json::Value::array();
+        for (const std::string &f : r.rangeFacts)
+            facts.push(f);
+        rg.set("facts", std::move(facts));
+        v.set("range", std::move(rg));
     }
     json::Value diags = json::Value::array();
     for (const Diagnostic &d : r.diags) {
@@ -214,6 +243,12 @@ report(const Program &prog, const std::string &name, const Options &opt,
     vopts.config.simdWidth = opt.width;
     vopts.widthFallback = opt.fallback;
     vopts.prove = opt.prove;
+
+    std::optional<ProgramRanges> pr;
+    if (opt.ranges) {
+        pr.emplace(solveProgramRanges(prog));
+        vopts.ranges = &*pr;
+    }
 
     ProgramReport rep = verifyProgram(prog, vopts);
     for (RegionReport &r : rep.regions)
