@@ -58,7 +58,7 @@ if command -v clang-tidy > /dev/null; then
     # them (HeaderFilterRegex in .clang-tidy).
     mapfile -t tus < <(git ls-files 'src/*.cc' \
         ':!src/verifier/*' ':!src/chaos/*' ':!src/translator/*' \
-        ':!src/lab/*' ':!src/cpu/*' ':!src/common/*')
+        ':!src/lab/*' ':!src/cpu/*' ':!src/common/*' ':!src/fast/*')
     if ! clang-tidy -p "$db" --quiet "${tus[@]}"; then
         status=1
     fi
@@ -67,12 +67,14 @@ if command -v clang-tidy > /dev/null; then
     # prover analyze untrusted binaries, the chaos oracle is the
     # equivalence ground truth, and the translator is what they all
     # check against. The cpu model is the execution ground truth the
-    # oracles replay on, the lab harness produces the published
-    # numbers, common/ is shared plumbing under all of them, and
-    # tools/ is the CI-facing surface whose JSON the gates parse.
+    # oracles replay on, the functional tier is the second execution
+    # ground truth the lockstep gate compares against it, the lab
+    # harness produces the published numbers, common/ is shared
+    # plumbing under all of them, and tools/ is the CI-facing surface
+    # whose JSON the gates parse.
     mapfile -t strict_tus < <(git ls-files 'src/verifier/*.cc' \
         'src/chaos/*.cc' 'src/translator/*.cc' 'src/lab/*.cc' \
-        'src/cpu/*.cc' 'src/common/*.cc' 'tools/*.cc')
+        'src/cpu/*.cc' 'src/common/*.cc' 'src/fast/*.cc' 'tools/*.cc')
     if ! clang-tidy -p "$db" --quiet --warnings-as-errors='*' \
             "${strict_tus[@]}"; then
         status=1

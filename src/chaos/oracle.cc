@@ -203,7 +203,8 @@ ExploreSummary
 exploreSchedules(const Program &prog, unsigned width,
                  const ExploreOptions &opts)
 {
-    const ChaosReference ref = makeReference(prog, width);
+    const ChaosReference ref =
+        (opts.refMaker ? opts.refMaker : makeReference)(prog, width);
     ExploreSummary summary;
 
     auto runOne = [&](const FaultSchedule &sched) {

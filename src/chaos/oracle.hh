@@ -131,6 +131,14 @@ struct ExploreOptions
     /** Randomized part: multi-event schedules beyond the window. */
     unsigned trials = 32;
     std::uint64_t seed = 1;
+    /**
+     * Reference-side runner computing the scalar ground truth for
+     * (program, width); null selects makeReference (the cycle core).
+     * The functional tier's makeFunctionalReference (fast/reference.hh)
+     * is a drop-in replacement that makes large sweeps cheap; a plain
+     * function pointer keeps liquid_chaos free of a fast dependency.
+     */
+    ChaosReference (*refMaker)(const Program &, unsigned) = nullptr;
 };
 
 /** One failing schedule, replayable from its key. */

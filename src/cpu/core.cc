@@ -1,5 +1,6 @@
 #include "cpu/core.hh"
 
+#include <algorithm>
 #include <iomanip>
 
 #include "common/bitfield.hh"
@@ -21,6 +22,32 @@ void
 Core::run()
 {
     while (step()) {
+    }
+}
+
+void
+Core::adoptArchState(const RegFile &regs, int pc, bool halted,
+                     const std::vector<int> &call_stack,
+                     std::uint64_t insts_retired,
+                     std::size_t next_fault_index,
+                     const std::map<Addr, std::uint64_t> &call_counts)
+{
+    LIQUID_ASSERT(instsRetired_ == 0 && cycles_ == 0,
+                  "adoptArchState on a core that already ran");
+    regs_ = regs;
+    pc_ = pc;
+    halted_ = halted;
+    callStack_ = call_stack;
+    instsRetired_ = insts_retired;
+    nextFault_ =
+        std::min(next_fault_index, config_.faults.events.size());
+    callLog_.clear();
+    for (const auto &[target, count] : call_counts) {
+        // The log caps at 8 stamps per target; pre-checkpoint calls
+        // carry stamp 0 (the functional prefix has no cycle clock).
+        callLog_[target] = std::vector<Cycles>(
+            static_cast<std::size_t>(std::min<std::uint64_t>(count, 8)),
+            0);
     }
 }
 

@@ -149,6 +149,25 @@ class Core
 
     Cycles cycles() const { return cycles_; }
     bool halted() const { return halted_; }
+    /** Current program counter (static instruction index). */
+    int pc() const { return pc_; }
+    /** Instructions retired so far (program and microcode). */
+    std::uint64_t instsRetired() const { return instsRetired_; }
+
+    /**
+     * Adopt architectural state from a functional fast-forward prefix
+     * (fast/warmup.hh): registers, pc, halt state, call stack, retire
+     * count (keeps the watchdog and retire-keyed fault events at their
+     * absolute positions; @p next_fault_index skips events the prefix
+     * already fired) and the call-log shape. Synthesized call stamps
+     * are 0 — the prefix had no cycle clock. Must be called before
+     * the core runs.
+     */
+    void adoptArchState(const RegFile &regs, int pc, bool halted,
+                        const std::vector<int> &call_stack,
+                        std::uint64_t insts_retired,
+                        std::size_t next_fault_index,
+                        const std::map<Addr, std::uint64_t> &call_counts);
 
     RegFile &regs() { return regs_; }
     const RegFile &regs() const { return regs_; }

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Functional-tier reference runner for the chaos and depcheck oracles.
+ *
+ * Both oracles compare a faulted / translated run against a fault-free
+ * scalar-baseline run of the same program. That reference side only
+ * needs architectural state, so the functional tier computes it at a
+ * fraction of the cycle model's cost — which is what lets the trial
+ * counts rise while wall-clock stays flat. makeFunctionalReference is
+ * a drop-in replacement for chaos makeReference (oracle.hh); the
+ * fast_lockstep test asserts the two produce identical references
+ * across the whole workload suite.
+ */
+
+#ifndef LIQUID_FAST_REFERENCE_HH
+#define LIQUID_FAST_REFERENCE_HH
+
+#include "chaos/oracle.hh"
+
+namespace liquid
+{
+class Program;
+}
+
+namespace liquid::fast
+{
+
+/**
+ * Run the scalar baseline on the functional tier and snapshot the
+ * result. Signature-compatible with chaos makeReference so it plugs
+ * into ExploreOptions::refMaker; @p width only sizes the retire
+ * window bookkeeping, the reference itself is scalar by definition.
+ */
+ChaosReference makeFunctionalReference(const Program &prog,
+                                       unsigned width);
+
+} // namespace liquid::fast
+
+#endif // LIQUID_FAST_REFERENCE_HH

@@ -1,0 +1,37 @@
+#include "fast/warmup.hh"
+
+#include "cpu/core.hh"
+#include "sim/system.hh"
+
+namespace liquid::fast
+{
+
+WarmupResult
+fastForward(System &sys, std::uint64_t checkpoint)
+{
+    const CoreConfig &core_config = sys.config().core;
+
+    FastConfig config;
+    config.simdWidth = core_config.simdWidth;
+    config.faults = core_config.faults;
+    config.maxInsts = core_config.maxInsts;
+
+    // The functional prefix runs directly on the System's memory, so
+    // every store is already in place when the cycle core takes over.
+    FastInterp interp(config, sys.program(), sys.memory());
+    interp.runUntil(checkpoint);
+
+    RegFile regs;
+    interp.exportRegs(regs);
+    sys.core().adoptArchState(regs, interp.pc(), interp.halted(),
+                              interp.callStack(), interp.retired(),
+                              interp.nextFaultIndex(),
+                              interp.callCounts());
+
+    WarmupResult res;
+    res.retired = interp.retired();
+    res.halted = interp.halted();
+    return res;
+}
+
+} // namespace liquid::fast

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fast-forward warmup: run the functional tier to a retire-count
+ * checkpoint, then hand the architectural state to the cycle core so
+ * detailed simulation starts from an already-warm program point.
+ *
+ * The handoff covers exactly the architectural state the scalar ISA
+ * promises — registers, compare flags, pc, the call stack, memory (the
+ * functional tier runs directly on the System's memory image) — plus
+ * the retire count (so the instruction watchdog and retire-keyed fault
+ * events keep their absolute positions) and the call-log shape. Cycle
+ * stamps for pre-checkpoint calls are synthesized as 0: the functional
+ * tier has no cycle clock, so Table-6-style inter-call timing must not
+ * mix warmed-up runs. Cycle statistics cover the post-checkpoint
+ * portion only.
+ */
+
+#ifndef LIQUID_FAST_WARMUP_HH
+#define LIQUID_FAST_WARMUP_HH
+
+#include <cstdint>
+
+#include "fast/fast.hh"
+
+namespace liquid
+{
+class System;
+}
+
+namespace liquid::fast
+{
+
+/** What the functional prefix executed. */
+struct WarmupResult
+{
+    std::uint64_t retired = 0;  ///< instructions retired functionally
+    bool halted = false;        ///< program finished before checkpoint
+};
+
+/**
+ * Run @p sys's program functionally until @p checkpoint instructions
+ * have retired (or halt), then adopt the architectural state into the
+ * System's cycle core. Fault events with atRetire < checkpoint fire
+ * functionally; later ones fire in the cycle core. fatal() on
+ * cycle-periodic interrupt schedules, which have no clock to key on
+ * during the functional prefix.
+ */
+WarmupResult fastForward(System &sys, std::uint64_t checkpoint);
+
+} // namespace liquid::fast
+
+#endif // LIQUID_FAST_WARMUP_HH

@@ -142,6 +142,29 @@ chaosScheduleKeys()
     return keys;
 }
 
+/**
+ * Fast campaign: the whole suite in scalar and native modes on BOTH
+ * execution tiers. The renderer's shape check is retired-instruction
+ * parity — the functional interpreter must retire exactly as many
+ * instructions as the cycle core for every (workload, mode), the
+ * coarse architectural agreement the lockstep harness refines
+ * per-retire. The cycle/functional wall-clock ratio feeds the
+ * committed BENCH_fast.json throughput baseline (liquid-fast --bench).
+ */
+ExperimentMatrix
+fastMatrix(bool smoke)
+{
+    ExperimentSpec spec;
+    spec.name = "fast";
+    spec.modes = {ExecMode::ScalarBaseline, ExecMode::NativeSimd};
+    spec.widths = {8};
+    spec.tiers = {fast::ExecTier::Cycle, fast::ExecTier::Functional};
+    spec.repsList = smokeReps(smoke);
+    ExperimentMatrix matrix;
+    matrix.specs.push_back(std::move(spec));
+    return matrix;
+}
+
 ExperimentMatrix
 chaosMatrix(bool smoke)
 {
@@ -202,10 +225,13 @@ groupByWorkload(const ResultSet &results, const std::string &experiment)
 const JobResult *
 pick(const std::vector<const JobResult *> &jobs, ExecMode mode,
      unsigned width, bool ideal = false,
-     const ConfigOverrides *over = nullptr, unsigned reps = 0)
+     const ConfigOverrides *over = nullptr, unsigned reps = 0,
+     fast::ExecTier tier = fast::ExecTier::Cycle)
 {
     for (const JobResult *r : jobs) {
         if (r->job.mode != mode || r->job.warmStart != ideal)
+            continue;
+        if (r->job.tier != tier)
             continue;
         if (mode != ExecMode::ScalarBaseline && r->job.width != width)
             continue;
@@ -541,6 +567,67 @@ renderChaos(std::ostream &os, const ResultSet &results)
     return allKinds && retranslations > 0 && !missing;
 }
 
+bool
+renderFast(std::ostream &os, const ResultSet &results)
+{
+    os << "=== Fast: functional-tier retired-instruction parity "
+          "(per-retire agreement lives in liquid-fast) ===\n\n";
+    const std::vector<std::pair<std::string, int>> cols = {
+        {"benchmark", -14}, {"scalar/cyc", 12}, {"scalar/fun", 12},
+        {"parity", 8},      {"nat8/cyc", 12},   {"nat8/fun", 12},
+        {"parity", 8}};
+    std::size_t total = 0;
+    for (const auto &[name, width] : cols) {
+        cell(os, width, name);
+        total += static_cast<std::size_t>(width < 0 ? -width : width);
+    }
+    os << '\n' << std::string(total, '-') << '\n';
+
+    // Retired counts live under different stat groups per tier: the
+    // cycle core's "core.insts" against the interpreter's "fast.insts".
+    auto insts = [](const JobResult *r) -> std::uint64_t {
+        if (!r)
+            return 0;
+        const char *stat =
+            r->job.tier == fast::ExecTier::Functional ? "fast.insts"
+                                                      : "core.insts";
+        auto it = r->outcome.counters.find(stat);
+        return it == r->outcome.counters.end() ? 0 : it->second;
+    };
+
+    bool sawAny = false, allParity = true, missing = false;
+    for (const auto &[name, jobs] : groupByWorkload(results, "fast")) {
+        sawAny = true;
+        cell(os, -14, name);
+        for (ExecMode mode :
+             {ExecMode::ScalarBaseline, ExecMode::NativeSimd}) {
+            const JobResult *cyc = pick(jobs, mode, 8);
+            const JobResult *fun = pick(jobs, mode, 8, false, nullptr,
+                                        0, fast::ExecTier::Functional);
+            if (!cyc || !fun)
+                missing = true;
+            const std::uint64_t ci = insts(cyc), fi = insts(fun);
+            const bool parity = cyc && fun && ci == fi && ci > 0;
+            cell(os, 12, cyc ? std::to_string(ci) : "?");
+            cell(os, 12, fun ? std::to_string(fi) : "?");
+            cell(os, 8, parity ? "ok" : "DIVERGE");
+            if (!parity)
+                allParity = false;
+        }
+        os << '\n';
+    }
+    if (!sawAny)
+        fatal("renderFast: no fast jobs in the result set");
+
+    os << "\nRetired-instruction parity across the suite: "
+       << (allParity ? "yes" : "NO") << '\n';
+    if (missing)
+        os << "some (workload, mode, tier) jobs were MISSING\n";
+    os << "(functional results carry no cycle counts: cycle-shaped "
+          "stats are absent under that tier, never zero)\n";
+    return allParity && !missing;
+}
+
 // ---- campaign registry ----------------------------------------------------
 
 std::vector<Campaign>
@@ -555,6 +642,7 @@ standardCampaigns(bool smoke)
         {"cache", "BENCH_cache.json", cacheMatrix(smoke),
          renderCacheSweep},
         {"chaos", "BENCH_chaos.json", chaosMatrix(smoke), renderChaos},
+        {"fast", "BENCH_fast.json", fastMatrix(smoke), renderFast},
     };
 }
 

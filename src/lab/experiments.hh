@@ -48,6 +48,7 @@ bool renderUcacheSweep(std::ostream &os, const ResultSet &results);
 bool renderLatencySweep(std::ostream &os, const ResultSet &results);
 bool renderCacheSweep(std::ostream &os, const ResultSet &results);
 bool renderChaos(std::ostream &os, const ResultSet &results);
+bool renderFast(std::ostream &os, const ResultSet &results);
 
 } // namespace liquid::lab
 

@@ -1,6 +1,7 @@
 #include "lab/lab.hh"
 
 #include "common/logging.hh"
+#include "fast/fast.hh"
 
 namespace liquid::lab
 {
@@ -52,6 +53,40 @@ buildMode(ExecMode mode)
     panic("unknown ExecMode");
 }
 
+/**
+ * Functional-tier job execution: run the threaded-dispatch interpreter
+ * (fast/fast.hh) instead of a System. Retire-keyed fault events still
+ * fire; everything cycle-shaped is absent from the outcome
+ * (hasCycles = false), not zero.
+ */
+RunOutcome
+runFunctional(const Job &job, const Workload::Build &build)
+{
+    if (job.mode == ExecMode::Liquid)
+        fatal("lab: job '", job.key(),
+              "': the functional tier has no translator or microcode "
+              "cache; liquid mode requires the cycle tier");
+    if (job.warmStart)
+        fatal("lab: job '", job.key(),
+              "': warm-start models microcode-cache residency, which "
+              "the functional tier does not have");
+
+    const SystemConfig config = job.config();
+    fast::FastConfig fc;
+    fc.simdWidth = config.core.simdWidth;
+    fc.faults = config.core.faults;  // pN rejected by FastInterp
+    fc.maxInsts = config.core.maxInsts;
+
+    MainMemory mem = MainMemory::forProgram(build.prog);
+    fast::FastInterp interp(fc, build.prog, mem);
+    interp.run();
+
+    RunOutcome out;
+    out.hasCycles = false;
+    snapshot(interp.stats(), out);
+    return out;
+}
+
 } // namespace
 
 RunOutcome
@@ -80,6 +115,9 @@ buildJob(const Job &job)
 RunOutcome
 runBuilt(const Job &job, const Workload::Build &build)
 {
+    if (job.tier == fast::ExecTier::Functional)
+        return runFunctional(job, build);
+
     const SystemConfig config = job.config();
 
     if (!job.warmStart)

@@ -33,11 +33,19 @@ namespace liquid::lab
  * bump it whenever a change alters simulated timing or statistics so
  * stale cached results can never be served for new model behaviour.
  */
-inline constexpr const char *modelVersion = "liquid-sim-2026.08-2";
+inline constexpr const char *modelVersion = "liquid-sim-2026.08-3";
 
 /** Everything harvested from one finished simulation. */
 struct RunOutcome
 {
+    /**
+     * False for functional-tier runs: there is no cycle clock, so
+     * cycles and the other timing mirrors below are ABSENT — the
+     * serializer omits them and ResultSet::cycles() refuses to serve
+     * them — never reported as zero.
+     */
+    bool hasCycles = true;
+
     Cycles cycles = 0;
 
     // Convenience mirrors of the counters the paper tables use most.

@@ -90,6 +90,7 @@ contentHash(const Job &job, const Workload::Build &build,
     std::ostringstream os;
     os << "model=" << modelVersion << '\n'
        << "procedure=" << (job.warmStart ? "warmstart" : "single") << '\n'
+       << "tier=" << fast::tierName(job.tier) << '\n'
        << serializeConfig(config) << '\n'
        << serializeProgram(build.prog);
     const std::string text = os.str();

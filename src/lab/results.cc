@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "fast/tier.hh"
 
 namespace liquid::lab
 {
@@ -18,6 +19,8 @@ JobResult::toJson() const
     v.set("workload", job.workload);
     v.set("mode", modeName(job.mode));
     v.set("width", job.width);
+    if (job.tier == fast::ExecTier::Functional)
+        v.set("tier", fast::tierName(job.tier));
     if (job.repsOverride)
         v.set("reps", job.repsOverride);
     if (job.warmStart)
@@ -44,25 +47,31 @@ JobResult::toJson() const
     if (!predictedProof.empty())
         v.set("predictedProof", predictedProof);
 
-    v.set("cycles", outcome.cycles);
-    v.set("translations", outcome.translations);
-    v.set("aborts", outcome.aborts);
-    v.set("ucodeDispatches", outcome.ucodeDispatches);
-    v.set("retranslations", outcome.retranslations);
+    // Functional-tier outcomes have no cycle clock: every cycle-shaped
+    // field is omitted entirely (absent, not zero).
+    if (outcome.hasCycles) {
+        v.set("cycles", outcome.cycles);
+        v.set("translations", outcome.translations);
+        v.set("aborts", outcome.aborts);
+        v.set("ucodeDispatches", outcome.ucodeDispatches);
+        v.set("retranslations", outcome.retranslations);
+    }
 
     json::Value counters = json::Value::object();
     for (const auto &[stat, value] : outcome.counters)
         counters.set(stat, value);
     v.set("counters", std::move(counters));
 
-    json::Value callLog = json::Value::object();
-    for (const auto &[addr, cycles] : outcome.callLog) {
-        json::Value arr = json::Value::array();
-        for (Cycles c : cycles)
-            arr.push(json::Value(c));
-        callLog.set(std::to_string(addr), std::move(arr));
+    if (outcome.hasCycles) {
+        json::Value callLog = json::Value::object();
+        for (const auto &[addr, cycles] : outcome.callLog) {
+            json::Value arr = json::Value::array();
+            for (Cycles c : cycles)
+                arr.push(json::Value(c));
+            callLog.set(std::to_string(addr), std::move(arr));
+        }
+        v.set("callLog", std::move(callLog));
     }
-    v.set("callLog", std::move(callLog));
     return v;
 }
 
@@ -75,6 +84,9 @@ JobResult::fromJson(const json::Value &v)
     r.job.workload = v.at("workload").asString();
     r.job.mode = modeFromName(v.at("mode").asString());
     r.job.width = static_cast<unsigned>(v.at("width").asUint());
+    // Tolerant read: v1 files predate the tier axis (all cycle-tier).
+    if (const json::Value *tier = v.find("tier"))
+        r.job.tier = fast::tierFromName(tier->asString());
     if (const json::Value *reps = v.find("reps"))
         r.job.repsOverride = static_cast<unsigned>(reps->asUint());
     if (const json::Value *ideal = v.find("ideal"))
@@ -118,22 +130,32 @@ JobResult::fromJson(const json::Value &v)
     if (const json::Value *p = v.find("predictedProof"))
         r.predictedProof = p->asString();
 
-    r.outcome.cycles = v.at("cycles").asUint();
-    r.outcome.translations = v.at("translations").asUint();
-    r.outcome.aborts = v.at("aborts").asUint();
-    r.outcome.ucodeDispatches = v.at("ucodeDispatches").asUint();
-    // Tolerant read: the field postdates committed baseline files.
-    if (const json::Value *rt = v.find("retranslations"))
-        r.outcome.retranslations = rt->asUint();
+    if (r.job.tier == fast::ExecTier::Functional) {
+        // Cycle-shaped fields are absent by construction; a functional
+        // result that carries them anyway is malformed.
+        r.outcome.hasCycles = false;
+        if (v.find("cycles"))
+            fatal("results: functional-tier job '", key,
+                  "' carries a 'cycles' field (cycle stats are absent "
+                  "under the functional tier, never zero)");
+    } else {
+        r.outcome.cycles = v.at("cycles").asUint();
+        r.outcome.translations = v.at("translations").asUint();
+        r.outcome.aborts = v.at("aborts").asUint();
+        r.outcome.ucodeDispatches = v.at("ucodeDispatches").asUint();
+        // Tolerant read: the field postdates committed baseline files.
+        if (const json::Value *rt = v.find("retranslations"))
+            r.outcome.retranslations = rt->asUint();
+        for (const auto &[addr, cycles] : v.at("callLog").members()) {
+            std::vector<Cycles> log;
+            for (const auto &c : cycles.items())
+                log.push_back(c.asUint());
+            r.outcome.callLog[static_cast<Addr>(std::stoul(addr))] =
+                std::move(log);
+        }
+    }
     for (const auto &[stat, value] : v.at("counters").members())
         r.outcome.counters[stat] = value.asUint();
-    for (const auto &[addr, cycles] : v.at("callLog").members()) {
-        std::vector<Cycles> log;
-        for (const auto &c : cycles.items())
-            log.push_back(c.asUint());
-        r.outcome.callLog[static_cast<Addr>(std::stoul(addr))] =
-            std::move(log);
-    }
     return r;
 }
 
@@ -174,7 +196,12 @@ ResultSet::at(const std::string &key) const
 Cycles
 ResultSet::cycles(const std::string &key) const
 {
-    return at(key).outcome.cycles;
+    const JobResult &r = at(key);
+    if (!r.outcome.hasCycles)
+        fatal("results: job '", key,
+              "' ran on the functional tier; cycle counts are absent "
+              "(not zero) — run the job on the cycle tier to get one");
+    return r.outcome.cycles;
 }
 
 json::Value
@@ -207,8 +234,9 @@ ResultSet
 ResultSet::fromJson(const json::Value &v)
 {
     const std::string schema = v.at("schema").asString();
-    if (schema != resultsSchema)
-        fatal("results: unsupported schema '", schema, "'");
+    if (schema != resultsSchema && schema != resultsSchemaV1)
+        fatal("results: unsupported schema '", schema, "' (expected '",
+              resultsSchema, "' or legacy '", resultsSchemaV1, "')");
     ResultSet set;
     for (const auto &job : v.at("jobs").items())
         set.add(JobResult::fromJson(job));

@@ -23,8 +23,15 @@
 namespace liquid::lab
 {
 
-/** Results file schema identifier. */
-inline constexpr const char *resultsSchema = "liquid-lab-results-v1";
+/**
+ * Results file schema identifier. v2 added the execution-tier axis:
+ * functional-tier jobs carry "tier": "functional" and OMIT the
+ * cycle-shaped fields (cycles, translations, aborts, ucodeDispatches,
+ * retranslations, callLog) — absent, not zero. v1 files (all jobs
+ * cycle-tier, fields always present) are still read back.
+ */
+inline constexpr const char *resultsSchema = "liquid-lab-results-v2";
+inline constexpr const char *resultsSchemaV1 = "liquid-lab-results-v1";
 
 /** One job's identity plus everything its simulation produced. */
 struct JobResult
@@ -71,7 +78,11 @@ class ResultSet
     /** Lookup by key; fatal() when absent. */
     const JobResult &at(const std::string &key) const;
 
-    /** Cycles of the job with @p key; fatal() when absent. */
+    /**
+     * Cycles of the job with @p key; fatal() when absent — including
+     * when the job ran on the functional tier, whose results carry no
+     * cycle counts at all (asking for one is a caller bug, not a zero).
+     */
     Cycles cycles(const std::string &key) const;
 
     /** Serialize (sorted copy is NOT implied: call sortByKey first). */

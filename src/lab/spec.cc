@@ -85,6 +85,10 @@ Job::key() const
     std::string k = experiment + '/' + workload + '/' + modeName(mode);
     if (mode != ExecMode::ScalarBaseline)
         k += "/w" + std::to_string(width);
+    // The cycle tier is the historic default and stays untagged so
+    // every pre-tier job key (and baseline file) remains valid.
+    if (tier == fast::ExecTier::Functional)
+        k += "/fun";
     k += over.tag();
     if (repsOverride)
         k += "/reps" + std::to_string(repsOverride);
@@ -129,14 +133,23 @@ ExperimentSpec::expand() const
                             ? std::vector<unsigned>{0}
                             : widths;
                     for (unsigned w : ws) {
-                        Job job;
-                        job.experiment = name;
-                        job.workload = wl;
-                        job.mode = mode;
-                        job.width = w;
-                        job.repsOverride = rep;
-                        job.over = over;
-                        add(std::move(job));
+                        for (fast::ExecTier tier : tiers) {
+                            // The functional interpreter has neither a
+                            // translator nor a microcode cache: Liquid
+                            // mode exists only on the cycle tier.
+                            if (tier == fast::ExecTier::Functional &&
+                                mode == ExecMode::Liquid)
+                                continue;
+                            Job job;
+                            job.experiment = name;
+                            job.workload = wl;
+                            job.mode = mode;
+                            job.width = w;
+                            job.repsOverride = rep;
+                            job.tier = tier;
+                            job.over = over;
+                            add(std::move(job));
+                        }
                     }
                 }
                 if (includeIdeal) {

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "fast/tier.hh"
 #include "sim/system.hh"
 
 namespace liquid::lab
@@ -84,11 +85,19 @@ struct Job
      * job so it stays independent of every other job.
      */
     bool warmStart = false;
+    /**
+     * Execution tier: the cycle core (timing + architectural state) or
+     * the functional interpreter (architectural state only; cycle-shaped
+     * results are absent, not zero). Functional excludes Liquid mode
+     * (no translator), warmStart and cycle-periodic fault schedules.
+     */
+    fast::ExecTier tier = fast::ExecTier::Cycle;
     ConfigOverrides over;
 
     /**
-     * Canonical identity, e.g. "fig6/fir/liquid/w8/ideal". Stable
-     * across runs, threads and platforms; results are sorted by it.
+     * Canonical identity, e.g. "fig6/fir/liquid/w8/ideal" or
+     * "fast/fir/native/w8/fun". Stable across runs, threads and
+     * platforms; results are sorted by it.
      */
     std::string key() const;
 
@@ -108,6 +117,13 @@ struct ExperimentSpec
     std::vector<ExecMode> modes{ExecMode::Liquid};
     /** Ignored for ScalarBaseline (recorded as width 0). */
     std::vector<unsigned> widths{8};
+    /**
+     * Execution-tier axis. Functional-tier jobs are only generated for
+     * non-Liquid modes (the functional interpreter has no translator);
+     * a tier list of {Cycle, Functional} over a mode list containing
+     * Liquid simply skips the impossible combination.
+     */
+    std::vector<fast::ExecTier> tiers{fast::ExecTier::Cycle};
     /** Config override axis; empty = the default configuration. */
     std::vector<ConfigOverrides> overrides;
     /** Rep-count axis; empty = the workload default. */

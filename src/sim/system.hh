@@ -65,6 +65,9 @@ class System
 
     Cycles cycles() const { return core_->cycles(); }
 
+    /** The program this system is bound to (warmup fast-forward). */
+    const Program &program() const { return prog_; }
+
     const SystemConfig &config() const { return config_; }
 
   private:

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Functional-interpreter unit tests: dispatch-cache lifecycle (decode,
+ * SMC/flush invalidation, re-decode correctness), retire-keyed fault
+ * timing and the cycle-periodic rejection diagnostic, plus the lab
+ * integration — tier-tagged job keys, matrix expansion rules, and the
+ * results contract that functional runs carry NO cycle counts (absent,
+ * never zero).
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "chaos/fault_schedule.hh"
+#include "fast/fast.hh"
+#include "fast/tier.hh"
+#include "lab/results.hh"
+#include "lab/runner.hh"
+#include "lab/spec.hh"
+#include "workloads/workload.hh"
+
+namespace liquid::fast
+{
+namespace
+{
+
+/** The suite's FIR workload, built in the requested mode. */
+Workload::Build
+firBuild(EmitOptions::Mode mode, unsigned width)
+{
+    for (const auto &wl : makeSuite()) {
+        if (wl->name() == "fir")
+            return wl->build(mode, width);
+    }
+    ADD_FAILURE() << "suite lost the fir workload";
+    std::abort();
+}
+
+/** Fresh interpreter over its own memory image. */
+struct Rig
+{
+    Program prog;
+    MainMemory mem;
+    FastInterp interp;
+
+    explicit Rig(const Workload::Build &build, FastConfig config = {})
+        : prog(build.prog), mem(MainMemory::forProgram(prog)),
+          interp(config, prog, mem)
+    {
+    }
+};
+
+TEST(FastDispatchCache, DecodeIsLazyAndPerBlock)
+{
+    const auto build = firBuild(EmitOptions::Mode::Scalarized, 8);
+    Rig rig(build);
+    EXPECT_EQ(rig.interp.blocksDecoded(), 0u);
+    rig.interp.step();
+    EXPECT_GT(rig.interp.blocksDecoded(), 0u);
+    // The entry block is live; far-away code is still cold.
+    EXPECT_TRUE(rig.interp.isDecoded(rig.interp.pc()));
+    const int last = static_cast<int>(rig.prog.code().size()) - 1;
+    const std::uint64_t decodedEarly = rig.interp.blocksDecoded();
+    rig.interp.run();
+    EXPECT_TRUE(rig.interp.halted());
+    EXPECT_GE(rig.interp.blocksDecoded(), decodedEarly);
+    (void)last;
+}
+
+TEST(FastDispatchCache, SmcInvalidationDropsCoveringBlockOnly)
+{
+    const auto build = firBuild(EmitOptions::Mode::Scalarized, 8);
+    Rig rig(build);
+    // Execute some instructions so the entry block is decoded.
+    for (int i = 0; i < 8 && !rig.interp.halted(); ++i)
+        rig.interp.step();
+    ASSERT_TRUE(rig.interp.isDecoded(0));
+    const std::uint64_t before = rig.interp.decodeInvalidations();
+
+    // A store into instruction 0's address must drop its block.
+    rig.interp.invalidateCodeRange(Program::instAddr(0),
+                                   Program::instAddr(0) + 4);
+    EXPECT_FALSE(rig.interp.isDecoded(0));
+    EXPECT_EQ(rig.interp.decodeInvalidations(), before + 1);
+
+    // Re-decode on demand and finish; the result must match a clean
+    // uninterrupted run exactly.
+    rig.interp.run();
+    Rig clean(build);
+    clean.interp.run();
+    EXPECT_EQ(rig.interp.retired(), clean.interp.retired());
+    EXPECT_EQ(rig.interp.scalars(), clean.interp.scalars());
+    EXPECT_EQ(rig.interp.cmpState(), clean.interp.cmpState());
+}
+
+TEST(FastDispatchCache, FlushDropsEverything)
+{
+    const auto build = firBuild(EmitOptions::Mode::Native, 8);
+    FastConfig config;
+    config.simdWidth = 8;
+    Rig rig(build, config);
+    for (int i = 0; i < 8 && !rig.interp.halted(); ++i)
+        rig.interp.step();
+    ASSERT_GT(rig.interp.blocksDecoded(), 0u);
+    rig.interp.flushDecodeCache();
+    EXPECT_EQ(rig.interp.decodeFlushes(), 1u);
+    for (std::size_t i = 0; i < rig.prog.code().size(); ++i)
+        EXPECT_FALSE(rig.interp.isDecoded(static_cast<int>(i)));
+    rig.interp.run();
+    Rig clean(build, config);
+    clean.interp.run();
+    EXPECT_EQ(rig.interp.retired(), clean.interp.retired());
+    EXPECT_EQ(rig.interp.scalars(), clean.interp.scalars());
+}
+
+TEST(FastDispatchCache, SmcFaultEventInvalidatesDuringRun)
+{
+    const auto build = firBuild(EmitOptions::Mode::Scalarized, 8);
+    FastConfig config;
+    config.faults = FaultSchedule::parse("smc@40");
+    Rig rig(build, config);
+    rig.interp.run();
+    EXPECT_GE(rig.interp.decodeInvalidations(), 1u);
+    // Invalidation machinery ran; architectural results unchanged.
+    Rig clean(build);
+    clean.interp.run();
+    EXPECT_EQ(rig.interp.retired(), clean.interp.retired());
+    EXPECT_EQ(rig.interp.scalars(), clean.interp.scalars());
+}
+
+TEST(FastFaults, CyclePeriodicInterruptRejectedAtConstruction)
+{
+    const auto build = firBuild(EmitOptions::Mode::Scalarized, 8);
+    FastConfig config;
+    config.faults = FaultSchedule::periodic(100);
+    MainMemory mem = MainMemory::forProgram(build.prog);
+    EXPECT_THROW(FastInterp(config, build.prog, mem), FatalError);
+}
+
+TEST(FastFaults, RetireKeyedEventsFireAtExactRetireCounts)
+{
+    const auto build = firBuild(EmitOptions::Mode::Scalarized, 8);
+    FastConfig config;
+    config.faults = FaultSchedule::parse("int@5");
+    Rig rig(build, config);
+
+    // Events with atRetire == target do NOT fire inside runUntil —
+    // they belong to the step retiring target+1 (the warmup-handoff
+    // contract: the cycle core fires them after adoption).
+    rig.interp.runUntil(5);
+    EXPECT_EQ(rig.interp.retired(), 5u);
+    EXPECT_EQ(rig.interp.nextFaultIndex(), 0u);
+
+    rig.interp.step();
+    EXPECT_EQ(rig.interp.nextFaultIndex(), 1u);
+    rig.interp.run();
+    EXPECT_EQ(rig.interp.stats().get("faults.int"), 1u);
+}
+
+TEST(FastLabTier, FunctionalTagsTheJobKey)
+{
+    lab::Job job;
+    job.experiment = "fast";
+    job.workload = "fir";
+    job.mode = ExecMode::NativeSimd;
+    job.width = 8;
+    job.tier = ExecTier::Functional;
+    EXPECT_EQ(job.key(), "fast/fir/native/w8/fun");
+    // The cycle tier stays untagged so pre-tier keys and committed
+    // baselines remain valid.
+    job.tier = ExecTier::Cycle;
+    EXPECT_EQ(job.key(), "fast/fir/native/w8");
+}
+
+TEST(FastLabTier, ExpansionSkipsFunctionalLiquidPairs)
+{
+    lab::ExperimentSpec spec;
+    spec.name = "tiertest";
+    spec.workloads = {"fir"};
+    spec.modes = {ExecMode::ScalarBaseline, ExecMode::Liquid};
+    spec.widths = {8};
+    spec.repsList = {2};
+    spec.tiers = {ExecTier::Cycle, ExecTier::Functional};
+    const auto jobs = spec.expand();
+    unsigned functional = 0;
+    for (const auto &job : jobs) {
+        if (job.tier == ExecTier::Functional) {
+            ++functional;
+            // No translator on the functional tier.
+            EXPECT_NE(job.mode, ExecMode::Liquid) << job.key();
+        }
+    }
+    EXPECT_GT(functional, 0u);
+}
+
+TEST(FastLabTier, FunctionalResultsOmitCyclesAndRoundTrip)
+{
+    lab::ExperimentSpec spec;
+    spec.name = "tiertest";
+    spec.workloads = {"fir"};
+    spec.modes = {ExecMode::ScalarBaseline};
+    spec.widths = {8};
+    spec.repsList = {2};
+    spec.tiers = {ExecTier::Functional};
+
+    lab::Runner runner(1);
+    lab::ResultSet results = runner.run(spec.expand());
+    ASSERT_EQ(results.size(), 1u);
+    const lab::JobResult &jr = results.results().front();
+    EXPECT_FALSE(jr.outcome.hasCycles);
+    EXPECT_GT(jr.outcome.counters.at("fast.insts"), 0u);
+
+    // Asking a functional result for cycles is a caller bug, not a
+    // zero.
+    EXPECT_THROW(results.cycles(jr.job.key()), FatalError);
+
+    // Byte-identical JSON round trip, tier tag included.
+    const std::string first = results.writeString();
+    lab::ResultSet back =
+        lab::ResultSet::fromJson(json::parse(first));
+    EXPECT_EQ(back.writeString(), first);
+    EXPECT_EQ(back.results().front().job.tier, ExecTier::Functional);
+
+    // A functional record claiming a cycle count is corrupt.
+    json::Value v = jr.toJson();
+    v.set("cycles", 123);
+    EXPECT_THROW(lab::JobResult::fromJson(v), FatalError);
+}
+
+} // namespace
+} // namespace liquid::fast

@@ -21,6 +21,12 @@
  * --seed S. Failing schedules print their canonical key, which feeds
  * straight back into `run --schedule`.
  *
+ * The scalar reference side runs on the functional execution tier
+ * (src/fast/) by default — it produces the identical architectural
+ * snapshot at a fraction of the cost, which is what makes large
+ * --trials sweeps affordable. --reference cycle restores the cycle
+ * core as the ground-truth generator.
+ *
  * Exit status: 0 when every schedule preserves architectural state;
  * 1 on any oracle mismatch; 2 on usage errors.
  */
@@ -35,6 +41,8 @@
 #include "chaos/oracle.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "fast/reference.hh"
+#include "fast/tier.hh"
 #include "workloads/workload.hh"
 
 using namespace liquid;
@@ -68,7 +76,20 @@ struct Options
     unsigned trials = 8;                 ///< explore: randomized part
     std::uint64_t seed = 1;
     bool json = false;
+    /** Tier computing the scalar ground truth (functional = cheap). */
+    fast::ExecTier reference = fast::ExecTier::Functional;
 };
+
+using RefMaker = ChaosReference (*)(const Program &, unsigned);
+
+/** The reference maker matching --reference. */
+RefMaker
+referenceMaker(const Options &opts)
+{
+    return opts.reference == fast::ExecTier::Functional
+               ? fast::makeFunctionalReference
+               : makeReference;
+}
 
 void
 usage()
@@ -87,6 +108,9 @@ usage()
         "  --trials N       explore: random multi-event schedules\n"
         "                   (default 8)\n"
         "  --seed S         explore: RNG seed (default 1)\n"
+        "  --reference TIER scalar ground-truth generator:\n"
+        "                   'functional' (default; fast interpreter)\n"
+        "                   or 'cycle' (the timing core)\n"
         "  --json           machine-readable report on stdout\n";
 }
 
@@ -152,6 +176,20 @@ parseArgs(int argc, char **argv, Options &opts)
             if (!v)
                 return false;
             opts.seed = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--reference") {
+            const char *v = next();
+            if (!v)
+                return false;
+            const std::string t = v;
+            if (t == "functional") {
+                opts.reference = fast::ExecTier::Functional;
+            } else if (t == "cycle") {
+                opts.reference = fast::ExecTier::Cycle;
+            } else {
+                std::cerr << "unknown reference tier '" << t
+                          << "' (expected 'functional' or 'cycle')\n";
+                return false;
+            }
         } else if (arg == "--json") {
             opts.json = true;
         } else {
@@ -238,6 +276,7 @@ emitReport(const Options &opts, const std::string &command,
         json::Value v = json::toolReport(chaosSchema, chaosToolVersion);
         v.set("command", command);
         v.set("width", opts.width);
+        v.set("reference", fast::tierName(opts.reference));
         v.set("checks", static_cast<std::uint64_t>(records.size()));
         v.set("failures", failures);
         json::Value arr = json::Value::array();
@@ -262,7 +301,8 @@ runCurated(const Options &opts, const std::vector<std::string> &keys,
 {
     std::vector<CheckRecord> records;
     for (const auto &[name, build] : buildWorkloads(opts)) {
-        const ChaosReference ref = makeReference(build.prog, opts.width);
+        const ChaosReference ref =
+            referenceMaker(opts)(build.prog, opts.width);
         for (const auto &key : keys) {
             const FaultSchedule sched = FaultSchedule::parse(key);
             CheckRecord rec{name, key,
@@ -289,6 +329,7 @@ runExplore(const Options &opts)
         eopts.window = opts.window;
         eopts.trials = opts.trials;
         eopts.seed = opts.seed;
+        eopts.refMaker = referenceMaker(opts);
         const ExploreSummary summary =
             exploreSchedules(build.prog, opts.width, eopts);
         for (const auto &[kind, count] : summary.kindCoverage)

@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "chaos/fault_schedule.hh"
+#include "fast/tier.hh"
 #include "lab/diff.hh"
 #include "lab/experiments.hh"
 #include "lab/predict.hh"
@@ -62,9 +64,16 @@ usage()
         "  --prove             with --predict: back each prediction\n"
         "                      with the translation-validation prover\n"
         "                      and tag its verdict\n"
+        "  --tier TIER         run every job on TIER (cycle|functional);\n"
+        "                      functional drops jobs that need the cycle\n"
+        "                      tier (liquid mode, warm-start, periodic\n"
+        "                      faults) with a note, and the results\n"
+        "                      carry no cycle counts (absent, not zero)\n"
         "\n"
         "diff options:\n"
-        "  --tol PCT           cycle tolerance in percent (default: 2)\n";
+        "  --tol PCT           cycle tolerance in percent (default: 2)\n"
+        "  --counter NAME:PCT  also gate counter NAME (repeatable),\n"
+        "                      e.g. --counter fast.insts:0\n";
 }
 
 int
@@ -98,7 +107,38 @@ struct RunOptions
     bool progress = false;
     bool predict = false;
     bool prove = false;
+    fast::ExecTier tier = fast::ExecTier::Cycle;
 };
+
+/**
+ * Re-point every job at the functional tier, dropping the ones only
+ * the cycle tier can run: liquid mode (no translator), warm-start (no
+ * microcode cache) and cycle-periodic fault schedules (no cycle
+ * clock). Dropped jobs are reported, never silently skipped.
+ */
+std::vector<Job>
+toFunctionalTier(std::vector<Job> jobs)
+{
+    std::vector<Job> converted;
+    std::size_t dropped = 0;
+    for (Job &job : jobs) {
+        const bool periodic =
+            job.over.faults &&
+            FaultSchedule::parse(*job.over.faults).interruptPeriod != 0;
+        if (job.mode == ExecMode::Liquid || job.warmStart || periodic) {
+            ++dropped;
+            continue;
+        }
+        job.tier = fast::ExecTier::Functional;
+        converted.push_back(std::move(job));
+    }
+    if (dropped) {
+        std::cerr << "  --tier functional: dropped " << dropped
+                  << " job(s) that need the cycle tier (liquid mode, "
+                     "warm-start or cycle-periodic faults)\n";
+    }
+    return converted;
+}
 
 int
 cmdRun(const RunOptions &opt)
@@ -131,6 +171,8 @@ cmdRun(const RunOptions &opt)
     bool shapesOk = true;
     for (const auto &campaign : campaigns) {
         std::vector<Job> jobs = campaign.matrix.expand();
+        if (opt.tier == fast::ExecTier::Functional)
+            jobs = toFunctionalTier(std::move(jobs));
         if (!opt.filter.empty()) {
             const std::regex re(opt.filter);
             std::erase_if(jobs, [&](const Job &job) {
@@ -215,12 +257,14 @@ cmdRender(const std::vector<std::string> &files)
 
 int
 cmdDiff(const std::string &currentFile, const std::string &baselineFile,
-        double tolPct)
+        double tolPct,
+        const std::map<std::string, double> &counterTols)
 {
     const ResultSet current = ResultSet::readFile(currentFile);
     const ResultSet baseline = ResultSet::readFile(baselineFile);
     DiffOptions options;
     options.cycleTolerance = tolPct / 100.0;
+    options.counterTolerances = counterTols;
     const DiffReport report = diffResults(baseline, current, options);
 
     std::cout << "compared " << report.jobsCompared
@@ -300,6 +344,8 @@ main(int argc, char **argv)
                     opt.predict = true;
                 else if (a == "--prove")
                     opt.prove = true;
+                else if (a == "--tier")
+                    opt.tier = fast::tierFromName(value(i));
                 else
                     fatal("unknown option '", a, "'");
             }
@@ -317,15 +363,25 @@ main(int argc, char **argv)
         if (cmd == "diff") {
             std::vector<std::string> files;
             double tolPct = 2.0;
+            std::map<std::string, double> counterTols;
             for (std::size_t i = 1; i < args.size(); ++i) {
-                if (args[i] == "--tol")
+                if (args[i] == "--tol") {
                     tolPct = std::stod(value(i));
-                else
+                } else if (args[i] == "--counter") {
+                    const std::string spec = value(i);
+                    const auto colon = spec.rfind(':');
+                    if (colon == std::string::npos || colon == 0)
+                        fatal("diff: --counter expects NAME:PCT, got '",
+                              spec, "'");
+                    counterTols[spec.substr(0, colon)] =
+                        std::stod(spec.substr(colon + 1)) / 100.0;
+                } else {
                     files.push_back(args[i]);
+                }
             }
             if (files.size() != 2)
                 fatal("diff: expected <results> <baseline>");
-            return cmdDiff(files[0], files[1], tolPct);
+            return cmdDiff(files[0], files[1], tolPct, counterTols);
         }
 
         std::cerr << "unknown command '" << cmd << "'\n";

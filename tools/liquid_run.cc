@@ -17,6 +17,14 @@
  *   liquid-run --list                      # suite benchmark names
  *   liquid-run --filter 'mpeg2.*'          # run matching benchmarks
  *   liquid-run --filter fir --sweep        # width sweep on one kernel
+ *
+ * The functional execution tier (src/fast/) runs the same program with
+ * no cycle clock — architectural results and retire counts only:
+ *
+ *   liquid-run --tier functional prog.s    # threaded-dispatch interp
+ *   liquid-run --warmup 10000 prog.s       # functional fast-forward,
+ *                                          # then hand off to the
+ *                                          # cycle core
  */
 
 #include <fstream>
@@ -27,6 +35,9 @@
 #include <string>
 
 #include "asm/assembler.hh"
+#include "fast/fast.hh"
+#include "fast/tier.hh"
+#include "fast/warmup.hh"
 #include "sim/system.hh"
 #include "workloads/workload.hh"
 
@@ -49,6 +60,11 @@ struct Options
     Cycles latency = 1;
     bool list = false;
     std::string filter;
+    fast::ExecTier tier = fast::ExecTier::Cycle;
+    /** Functional fast-forward checkpoint (retired insts); 0 = off. */
+    std::uint64_t warmup = 0;
+    /** --mode was given explicitly (functional defaults to scalar). */
+    bool modeExplicit = false;
 };
 
 void
@@ -67,7 +83,15 @@ usage()
         "  --sweep                       run at widths 2/4/8/16\n"
         "  --list                        print suite workload names\n"
         "  --filter REGEX                run suite workloads matching\n"
-        "                                REGEX instead of a .s file\n";
+        "                                REGEX instead of a .s file\n"
+        "  --tier cycle|functional       execution tier (cycle); the\n"
+        "                                functional tier has no cycle\n"
+        "                                clock: cycle stats are absent\n"
+        "                                and cycle-only flags error\n"
+        "  --warmup N                    fast-forward the first N\n"
+        "                                retires on the functional\n"
+        "                                tier, then hand architectural\n"
+        "                                state to the cycle core\n";
 }
 
 bool
@@ -97,6 +121,7 @@ parseArgs(int argc, char **argv, Options &opt)
                 std::cerr << "unknown mode '" << m << "'\n";
                 return false;
             }
+            opt.modeExplicit = true;
         } else if (arg == "-w" || arg == "--width") {
             const char *v = next();
             if (!v)
@@ -121,6 +146,25 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.sweep = true;
         } else if (arg == "--list") {
             opt.list = true;
+        } else if (arg == "--tier") {
+            const char *v = next();
+            if (!v)
+                return false;
+            const std::string t = v;
+            if (t == "cycle") {
+                opt.tier = fast::ExecTier::Cycle;
+            } else if (t == "functional") {
+                opt.tier = fast::ExecTier::Functional;
+            } else {
+                std::cerr << "unknown tier '" << t
+                          << "' (expected 'cycle' or 'functional')\n";
+                return false;
+            }
+        } else if (arg == "--warmup") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.warmup = std::stoull(v);
         } else if (arg == "--filter") {
             const char *v = next();
             if (!v)
@@ -145,6 +189,45 @@ parseArgs(int argc, char **argv, Options &opt)
         usage();
         return false;
     }
+    if (opt.tier == fast::ExecTier::Functional) {
+        // Anything that needs the cycle clock (or the translator) is a
+        // hard error under the functional tier — the stats it would
+        // report are absent there, not zero, so silently running would
+        // mislead.
+        const char *cycleOnly = nullptr;
+        if (opt.sweep)
+            cycleOnly = "--sweep";
+        else if (opt.trace)
+            cycleOnly = "--trace";
+        else if (opt.ucode)
+            cycleOnly = "--ucode";
+        else if (opt.pretranslate)
+            cycleOnly = "--pretranslate";
+        else if (opt.warmup)
+            cycleOnly = "--warmup";
+        if (cycleOnly) {
+            std::cerr << cycleOnly
+                      << " requires the cycle tier: the functional "
+                         "tier has no cycle clock, so the cycle-shaped "
+                         "results it would report are absent (not "
+                         "zero); drop "
+                      << cycleOnly << " or use --tier cycle\n";
+            return false;
+        }
+        if (opt.mode == ExecMode::Liquid) {
+            if (!opt.modeExplicit) {
+                // Liquid is only the default for the cycle tier; the
+                // natural functional-tier default is the scalar ISA.
+                opt.mode = ExecMode::ScalarBaseline;
+            } else {
+                std::cerr << "--tier functional cannot run liquid "
+                             "mode (no translator or microcode "
+                             "cache); use --mode scalar or --mode "
+                             "native, or --tier cycle\n";
+                return false;
+            }
+        }
+    }
     return true;
 }
 
@@ -163,6 +246,29 @@ emitModeFor(ExecMode mode)
     panic("unknown ExecMode");
 }
 
+/**
+ * Functional-tier run: the threaded-dispatch interpreter, architectural
+ * results and retire counts only. Returns instructions retired.
+ */
+std::uint64_t
+runFunctionalOnce(const Program &prog, const Options &opt,
+                  ExecMode mode, unsigned width, bool verbose)
+{
+    fast::FastConfig fc;
+    fc.simdWidth = mode == ExecMode::ScalarBaseline ? 0 : width;
+    MainMemory mem = MainMemory::forProgram(prog);
+    fast::FastInterp interp(fc, prog, mem);
+    interp.run();
+    if (verbose) {
+        std::cout << "tier:   functional (no cycle clock; cycle stats "
+                     "are absent, not zero)\n"
+                  << "insts:  " << interp.retired() << '\n';
+    }
+    if (opt.stats)
+        interp.stats().dump(std::cout);
+    return interp.retired();
+}
+
 /** Run the suite workloads matching opt.filter (single-kernel
  *  investigation without editing source). */
 int
@@ -176,12 +282,29 @@ runFiltered(const Options &opt)
         matched = true;
         std::cout << "== " << wl->name() << '\n';
 
+        if (opt.tier == fast::ExecTier::Functional) {
+            const auto build =
+                wl->build(emitModeFor(opt.mode), opt.width);
+            const std::uint64_t n = runFunctionalOnce(
+                build.prog, opt, opt.mode, opt.width, false);
+            std::cout << "  insts: " << n
+                      << "  (functional tier; cycles absent)\n";
+            continue;
+        }
+
         auto cyclesFor = [&](ExecMode mode, unsigned width) {
             const auto build = wl->build(emitModeFor(mode), width);
             SystemConfig config = SystemConfig::make(mode, width);
             config.translator.latencyPerInst = opt.latency;
             config.pretranslate = opt.pretranslate;
             System sys(config, build.prog);
+            if (opt.warmup) {
+                const fast::WarmupResult w =
+                    fast::fastForward(sys, opt.warmup);
+                std::cout << "  warmup: " << w.retired
+                          << " retire(s) fast-forwarded; cycle stats "
+                             "cover the remainder only\n";
+            }
             if (opt.trace)
                 sys.core().setTrace(&std::cout);
             sys.run();
@@ -206,8 +329,8 @@ runFiltered(const Options &opt)
                           << "x)\n";
             }
         } else {
-            std::cout << "  cycles: "
-                      << cyclesFor(opt.mode, opt.width) << '\n';
+            const Cycles c = cyclesFor(opt.mode, opt.width);
+            std::cout << "  cycles: " << c << '\n';
         }
     }
     if (!matched) {
@@ -226,6 +349,16 @@ runOnce(const Program &prog, const Options &opt, ExecMode mode,
     config.translator.latencyPerInst = opt.latency;
     config.pretranslate = opt.pretranslate;
     System sys(config, prog);
+    if (opt.warmup) {
+        const fast::WarmupResult w = fast::fastForward(sys, opt.warmup);
+        if (verbose) {
+            std::cout << "warmup: fast-forwarded " << w.retired
+                      << " retire(s) on the functional tier"
+                      << (w.halted ? " (program halted during warmup)"
+                                   : "")
+                      << "; cycle stats cover the remainder only\n";
+        }
+    }
     if (opt.trace && verbose)
         sys.core().setTrace(&std::cout);
     sys.run();
@@ -316,6 +449,11 @@ main(int argc, char **argv)
         Program prog = assemble(source.str());
         if (opt.listing)
             std::cout << prog.listing();
+
+        if (opt.tier == fast::ExecTier::Functional) {
+            runFunctionalOnce(prog, opt, opt.mode, opt.width, true);
+            return 0;
+        }
 
         if (opt.sweep) {
             const Cycles base = runOnce(prog, opt,
