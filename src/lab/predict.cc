@@ -128,6 +128,16 @@ validatePredictions(const std::vector<WorkloadPrediction> &preds,
             !(r.job.over == ConfigOverrides{}))
             continue;
 
+        // Functional-tier rows have no cycle clock — joining them
+        // would compare against an absent stat, not a zero. Reject
+        // loudly instead of silently skipping.
+        if (r.job.tier == fast::ExecTier::Functional) {
+            ++out.rejectedFunctional;
+            if (out.rejectedFunctionalKeys.size() < 4)
+                out.rejectedFunctionalKeys.push_back(r.job.key());
+            continue;
+        }
+
         const WorkloadPrediction *pred = nullptr;
         for (const WorkloadPrediction &p : preds) {
             if (p.workload == r.job.workload)
@@ -139,13 +149,17 @@ validatePredictions(const std::vector<WorkloadPrediction> &preds,
         if (it == pred->speedupByWidth.end())
             continue;
 
-        // The scalar twin shares every key axis except mode/width.
+        // The scalar twin shares every key axis except mode/width;
+        // tier is pinned to the cycle core so a functional-tier twin
+        // can never sneak a zero-cycle denominator into the ratio.
         Job twin = r.job;
         twin.mode = ExecMode::ScalarBaseline;
         twin.width = 0;
         twin.warmStart = false;
+        twin.tier = fast::ExecTier::Cycle;
         const JobResult *base = measured.find(twin.key());
-        if (!base || r.outcome.cycles == 0)
+        if (!base || r.outcome.cycles == 0 ||
+            base->outcome.cycles == 0)
             continue;
 
         ValidationRow row;
@@ -203,6 +217,11 @@ ValidationSummary::toJson() const
     v.set("rankAgreement", rankAgreement());
     v.set("comparablePairs", comparablePairs);
     v.set("discordantPairs", discordantPairs);
+    v.set("rejectedFunctional", rejectedFunctional);
+    json::Value rejected = json::Value::array();
+    for (const std::string &k : rejectedFunctionalKeys)
+        rejected.push(k);
+    v.set("rejectedFunctionalKeys", std::move(rejected));
     v.set("meanAbsError", meanAbsError);
     v.set("maxAbsError", maxAbsError);
     json::Value rowsJson = json::Value::array();

@@ -96,6 +96,16 @@ struct ValidationSummary
 {
     std::vector<ValidationRow> rows;
 
+    /**
+     * Measured rows rejected from the join because they ran on the
+     * functional tier (`/fun` job keys): those results carry retired
+     * instructions but no cycle clock, so a speedup join would divide
+     * by an absent stat. The first few offending keys are kept for
+     * the diagnostic.
+     */
+    unsigned rejectedFunctional = 0;
+    std::vector<std::string> rejectedFunctionalKeys;
+
     /** Same-workload width pairs with both values present. */
     unsigned comparablePairs = 0;
     /** Pairs where prediction and measurement strictly disagree on

@@ -437,4 +437,49 @@ analyzeDeps(const Program &prog, int entry_index, const RegionCfg &cfg,
     return result;
 }
 
+PolyDeps
+analyzePolyDeps(const Program &prog, int entry_index,
+                const RegionCfg &cfg, const DepcheckOptions &opts)
+{
+    PolyDeps result;
+    if (cfg.loops().empty()) {
+        // No loops: no carried dependences at any width.
+        result.resolved = true;
+        return result;
+    }
+    result.analyzed = true;
+
+    std::vector<LoopRange> loops;
+    loops.reserve(cfg.loops().size());
+    for (const CfgLoop &l : cfg.loops()) {
+        loops.push_back(LoopRange{
+            cfg.blocks()[static_cast<std::size_t>(l.headBlock)].first,
+            l.backedgeIndex});
+    }
+    result.loopsAnalyzed = static_cast<unsigned>(loops.size());
+
+    std::vector<MemEvent> events;
+    AbsMachine machine(prog, opts.facts);
+    try {
+        events = walkRegion(prog, entry_index, loops, opts, machine);
+    } catch (const WalkStop &stop) {
+        result.resolved = false;
+        result.unresolvedWhy = stop.why;
+        result.unresolvedReason = stop.reason;
+        result.unresolvedIndex = stop.index;
+        result.factsUsed = machine.factsUsed();
+        return result;
+    }
+    result.resolved = true;
+    result.factsUsed = machine.factsUsed();
+    result.accesses = classifyAccesses(prog, events);
+    result.events.reserve(events.size());
+    for (const MemEvent &e : events) {
+        result.events.push_back(DepEvent{e.loop, e.iter, e.pos, e.ea,
+                                         e.size, e.isStore});
+        result.maxIter = std::max(result.maxIter, e.iter);
+    }
+    return result;
+}
+
 } // namespace liquid

@@ -187,6 +187,53 @@ DepcheckResult analyzeDeps(const Program &prog, int entry_index,
                            const RegionCfg &cfg,
                            const DepcheckOptions &opts = {});
 
+/**
+ * One dynamic load/store execution inside a loop, exported for the
+ * width-polymorphic verifier (liquid-poly). Identical to the trace
+ * analyzeDeps scans internally: iteration-ordered per loop, so group
+ * runs at any width are contiguous.
+ */
+struct DepEvent
+{
+    int loop = -1;      ///< loop id (dense, per region)
+    unsigned iter = 0;  ///< 0-based iteration of that loop
+    int pos = -1;       ///< instruction index = textual position
+    Addr ea = 0;
+    unsigned size = 0;
+    bool isStore = false;
+};
+
+/**
+ * The width-independent half of the dependence analysis: the walk and
+ * the access classification, with the per-width group scan left to the
+ * caller. liquid-poly replays the same scan analyzeDeps runs — same
+ * event order, same overlap and order-flip predicates — at a symbolic
+ * width, so one trace serves every N.
+ */
+struct PolyDeps
+{
+    bool analyzed = false;  ///< region had loops and the walk ran
+    bool resolved = false;  ///< walk completed with concrete addresses
+    std::string unresolvedWhy;
+    DepReason unresolvedReason = DepReason::None;
+    int unresolvedIndex = -1;
+    std::vector<std::string> factsUsed;
+
+    unsigned loopsAnalyzed = 0;
+    std::vector<DepEvent> events;  ///< walk order (= scan order)
+    std::vector<MemAccess> accesses;
+    unsigned maxIter = 0;  ///< largest 0-based iteration observed
+};
+
+/**
+ * Run the walk + classification of analyzeDeps and return the raw
+ * trace instead of per-width verdicts. Same AbsMachine, same budgets,
+ * same failure cases (surfacing as resolved == false).
+ */
+PolyDeps analyzePolyDeps(const Program &prog, int entry_index,
+                         const RegionCfg &cfg,
+                         const DepcheckOptions &opts = {});
+
 } // namespace liquid
 
 #endif // LIQUID_VERIFIER_DEPCHECK_HH

@@ -76,6 +76,9 @@ formatRegionReport(const RegionReport &report)
         os << "  proof: " << report.proofVerdict << " ("
            << report.proofSummary << ")\n";
     }
+    if (report.polyAnalyzed) {
+        os << "  validity: " << report.polySummary << '\n';
+    }
     if (!report.rangeFacts.empty() || report.rangeDischarged > 0) {
         os << "  range: " << report.rangeFacts.size()
            << " entry fact(s) consumed, " << report.rangeDischarged

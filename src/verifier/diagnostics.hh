@@ -104,6 +104,19 @@ struct RegionReport
     std::vector<std::string> rangeFacts;
     unsigned rangeDischarged = 0;
 
+    /**
+     * Width-polymorphic attachment (VerifyOptions::poly): the validity
+     * set from liquid-poly — a one-line predicate on N, the exact Ok
+     * widths within the probe horizon, and the rendered interval ×
+     * congruence constraints. polyUnbounded is the structural
+     * safe-for-all-N claim with the observed trip data factored out.
+     */
+    bool polyAnalyzed = false;
+    bool polyUnbounded = false;
+    std::string polySummary;
+    std::vector<unsigned> polyOkWidths;
+    std::vector<std::string> polyConstraints;
+
     // Static structure, always valid.
     unsigned blockCount = 0;       ///< CFG basic blocks
     unsigned loopCount = 0;        ///< CFG natural loops

@@ -12,6 +12,7 @@
 #include "translator/abort_reason.hh"
 #include "translator/offline.hh"
 #include "verifier/cfg.hh"
+#include "verifier/poly.hh"
 #include "verifier/range.hh"
 #include "verifier/symexec.hh"
 
@@ -1157,8 +1158,21 @@ proveRegion(const Program &prog, int entry_index, unsigned width_hint,
 
     if (opts.symbolicN) {
         trySymbolicN(prog, entry_index, width_hint, demand, opts, rp);
-        if (rp.symbolicN.proved)
+        // Feed the width-polymorphic verifier's validity set into the
+        // proof record: lane-generic microcode equivalence plus a
+        // structural safe-for-all-N verdict extends the claim past
+        // the ladder widths the prover enumerated.
+        TranslatorConfig config;
+        const PolyRegion poly = analyzePoly(prog, entry_index, config);
+        rp.symbolicN.polyValidity = poly.validity.summary;
+        rp.symbolicN.polyUnbounded =
+            poly.validity.structuralUnbounded;
+        if (rp.symbolicN.proved) {
+            if (rp.symbolicN.polyUnbounded)
+                rp.symbolicN.summary +=
+                    "; liquid-poly concurs: " + poly.validity.summary;
             return rp;
+        }
     }
 
     for (const unsigned w : opts.widths) {

@@ -115,6 +115,16 @@ struct SymbolicNProof
     std::string summary;  ///< why it did not apply / did not close
     unsigned obligations = 0;
     std::uint64_t enumPoints = 0;
+    /**
+     * Corroboration from the width-polymorphic static verifier
+     * (poly.hh): polyValidity is its predicate on N, and
+     * polyUnbounded says the rules/depcheck side also verifies for
+     * arbitrarily large N — together with `proved` (microcode
+     * equivalence at every ladder width plus the width-generic lane
+     * argument) this extends the claim past the ladder.
+     */
+    bool polyUnbounded = false;
+    std::string polyValidity;
 };
 
 /** Proof results for one region across the requested widths. */

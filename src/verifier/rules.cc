@@ -60,9 +60,10 @@ class StaticAutomaton
 {
   public:
     StaticAutomaton(const Program &prog, const TranslatorConfig &config,
-                    unsigned capture_width)
+                    unsigned capture_width,
+                    WidthCheckSink *poly = nullptr)
         : config_(config), prog_(prog), captureWidth_(capture_width),
-          regs_(4 * regsPerClass)
+          poly_(poly), regs_(4 * regsPerClass)
     {
     }
 
@@ -376,6 +377,8 @@ class StaticAutomaton
                     streams_[static_cast<std::size_t>(d.stream)]
                         .values.push_back(value);
                     n.stream = d.stream;
+                    if (poly_ != nullptr)
+                        poly_->onStreamSeed(d.stream, value);
                 }
             }
             return;
@@ -709,7 +712,13 @@ class StaticAutomaton
                     streams_[static_cast<std::size_t>(n.stream)].values;
                 const Word value = need(info.value, "constant-pool load",
                                         info.index);
-                if (values.size() < width) {
+                if (poly_ != nullptr) {
+                    // Width-polymorphic mode: capture every lane and
+                    // defer the push/compare decision to instantiate.
+                    poly_->onStreamLane(info.index, n.stream, elem,
+                                        value);
+                    values.push_back(value);
+                } else if (values.size() < width) {
                     if (!laneRepresentable(value))
                         raiseAbort(AbortReason::ValueTooWide,
                                    info.index);
@@ -750,7 +759,9 @@ class StaticAutomaton
     {
         const unsigned width = captureWidth_;
 
-        if (itersDone_ < width || itersDone_ % width != 0)
+        if (poly_ != nullptr)
+            poly_->onTripCount(index, itersDone_);
+        else if (itersDone_ < width || itersDone_ % width != 0)
             raiseAbort(AbortReason::TripCount, index);
 
         for (const auto &[store_idx, store_note] : notes_) {
@@ -775,6 +786,17 @@ class StaticAutomaton
         for (const Patch &p : patches_) {
             const auto &values =
                 streams_[static_cast<std::size_t>(p.stream)].values;
+            if (poly_ != nullptr) {
+                // Record the lane count (and, for permutations, the
+                // shape obligation); skip the width-bound constant
+                // vector / mask / perm-CAM emission, whose effects are
+                // verdict-irrelevant apart from the deferred checks.
+                poly_->onLanes(index, p.stream, values.size());
+                if (p.kind != Patch::Kind::CvecOrMask)
+                    poly_->onPerm(index, p.stream,
+                                  p.kind == Patch::Kind::PermStore);
+                continue;
+            }
             if (values.size() < width)
                 raiseAbort(AbortReason::LanesIncomplete, index);
 
@@ -902,6 +924,7 @@ class StaticAutomaton
     Mode mode_ = Mode::Build;
     unsigned observedInsts_ = 0;
     unsigned captureWidth_;
+    WidthCheckSink *poly_ = nullptr;
 
     std::vector<RegState> regs_;
     std::vector<ValueStream> streams_;
@@ -930,10 +953,10 @@ class StaticAutomaton
 StaticOutcome
 analyzeRegion(const Program &prog, int entry_index,
               const TranslatorConfig &config, unsigned capture_width,
-              const EntryFacts *facts)
+              const EntryFacts *facts, WidthCheckSink *poly)
 {
     StaticOutcome out;
-    StaticAutomaton automaton(prog, config, capture_width);
+    StaticAutomaton automaton(prog, config, capture_width, poly);
     AbsMachine machine(prog, facts);
     std::set<int> visited;
 

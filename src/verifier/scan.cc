@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "translator/abort_reason.hh"
+#include "verifier/poly.hh"
 
 namespace liquid
 {
@@ -277,6 +278,14 @@ scanProgram(const Program &prog, const ScanOptions &opts)
                 }
                 r.predictions.push_back(std::move(p));
             }
+            // One width-free recording walk answers "for which N?"
+            // across the whole ladder and beyond.
+            const PolyRegion poly =
+                analyzePoly(prog, entry, opts.config, opts.dep);
+            r.polyAnalyzed = true;
+            r.polyUnbounded = poly.validity.structuralUnbounded;
+            r.widthValidity = poly.validity.summary;
+            r.polyOkWidths = poly.validity.okWidths;
         }
 
         rep.regions.push_back(std::move(r));
@@ -311,6 +320,8 @@ formatScanRegion(const ScanRegion &region)
     if (!region.tripCountBound.isTop() && !region.tripCountBound.empty())
         os << "  proven trip-count bound: "
            << region.tripCountBound.str() << '\n';
+    if (region.polyAnalyzed)
+        os << "  width-validity: " << region.widthValidity << '\n';
 
     for (const Diagnostic &d : region.contractDiags) {
         os << "  contract " << severityName(d.severity);

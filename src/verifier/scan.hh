@@ -119,6 +119,17 @@ struct ScanRegion
 
     std::vector<WidthPrediction> predictions;
 
+    /**
+     * Width-validity set (liquid-poly), computed once per candidate
+     * during prediction: a one-line predicate on N, the exact Ok
+     * widths within the probe horizon, and whether the region earns
+     * the structural safe-for-all-N claim.
+     */
+    bool polyAnalyzed = false;
+    bool polyUnbounded = false;
+    std::string widthValidity;
+    std::vector<unsigned> polyOkWidths;
+
     /** Best committed width and its predicted speedup (0 if none). */
     unsigned bestWidth = 0;
     double bestSpeedup = 0.0;

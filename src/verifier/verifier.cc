@@ -9,6 +9,7 @@
 #include "verifier/cfg.hh"
 #include "verifier/depcheck.hh"
 #include "verifier/liveness.hh"
+#include "verifier/poly.hh"
 #include "verifier/proof.hh"
 #include "verifier/range.hh"
 #include "verifier/rules.hh"
@@ -70,9 +71,11 @@ proveBindWidth(const Program &prog, int entry_index, unsigned bind,
 
 } // namespace
 
-RegionReport
-verifyRegion(const Program &prog, int entry_index,
-             const VerifyOptions &opts, unsigned width_hint)
+/** The per-width verification cascade; poly attachment happens in the
+ *  public wrapper so every early return is covered. */
+static RegionReport
+verifyRegionImpl(const Program &prog, int entry_index,
+                 const VerifyOptions &opts, unsigned width_hint)
 {
     RegionReport report;
     report.entryIndex = entry_index;
@@ -477,6 +480,31 @@ verifyRegion(const Program &prog, int entry_index,
         }
     }
     attachRangeEvidence();
+    return report;
+}
+
+RegionReport
+verifyRegion(const Program &prog, int entry_index,
+             const VerifyOptions &opts, unsigned width_hint)
+{
+    RegionReport report =
+        verifyRegionImpl(prog, entry_index, opts, width_hint);
+    if (opts.poly) {
+        DepcheckOptions depOpts = opts.dep;
+        std::optional<RangeFacts> rangeFacts;
+        if (opts.ranges && opts.ranges->sound) {
+            rangeFacts.emplace(prog, *opts.ranges, entry_index);
+            depOpts.facts = &*rangeFacts;
+        }
+        const PolyRegion poly =
+            analyzePoly(prog, entry_index, opts.config, depOpts);
+        report.polyAnalyzed = true;
+        report.polyUnbounded = poly.validity.structuralUnbounded;
+        report.polySummary = poly.validity.summary;
+        report.polyOkWidths = poly.validity.okWidths;
+        for (const NConstraint &c : poly.validity.constraints)
+            report.polyConstraints.push_back(c.render());
+    }
     return report;
 }
 

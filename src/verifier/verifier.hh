@@ -58,6 +58,13 @@ struct VerifyOptions
      * Every consumed fact is attached to the report.
      */
     const ProgramRanges *ranges = nullptr;
+    /**
+     * Attach the width-polymorphic validity set (poly.hh) to every
+     * report: one recording walk per region yields the predicate on N
+     * (summary, exact Ok widths, interval × congruence constraints)
+     * alongside the per-width verdict.
+     */
+    bool poly = false;
 };
 
 /**

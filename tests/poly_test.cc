@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Width-polymorphic verifier (liquid-poly) tests: the differential
+ * exactness contract against the concrete verifier, the sabotage
+ * self-test, validity-set rendering, and the liquid-verify-v3 JSON
+ * back-compat guarantee for v2 consumers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "verifier/poly.hh"
+#include "verifier/verifier.hh"
+#include "workloads/workload.hh"
+
+#include "random_kernels.hh"
+
+using namespace liquid;
+
+namespace
+{
+
+/** Mixed element sizes (ldh vs stw) give overlapping carried pairs at
+ *  non-uniform distances — the dep-scan stressor. */
+const char *kernMixedSrc =
+    "        .data c 128\n"
+    "kern_mixed:\n"
+    "        mov r0, #0\n"
+    "        mov r5, #5\n"
+    "top:\n"
+    "        ldh r1, [c + r5]\n"
+    "        add r2, r1, #1\n"
+    "        stw [c + r0], r2\n"
+    "        add r5, r5, #1\n"
+    "        add r0, r0, #1\n"
+    "        cmp r0, #16\n"
+    "        blt top\n"
+    "        ret\n"
+    "main:\n"
+    "        bl.simd kern_mixed\n"
+    "        halt\n";
+
+/** Trip count 24: not a multiple of 16, so the ladder's widest width
+ *  aborts while 2/4/8 commit. */
+const char *kernTrip24Src =
+    "        .words x 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18"
+    " 19 20 21 22 23 24\n"
+    "        .data a 96\n"
+    "kern_trip24:\n"
+    "        mov r0, #0\n"
+    "top:\n"
+    "        ldw r1, [x + r0]\n"
+    "        add r2, r1, #1\n"
+    "        stw [a + r0], r2\n"
+    "        add r0, r0, #1\n"
+    "        cmp r0, #24\n"
+    "        blt top\n"
+    "        ret\n"
+    "main:\n"
+    "        bl.simd kern_trip24\n"
+    "        halt\n";
+
+/** Period-2 read-only constant stream: the stream check binds N to
+ *  the congruence 2 | N. */
+const char *kernStreamSrc =
+    "        .rowords kco 5 7 5 7 5 7 5 7 5 7 5 7 5 7 5 7\n"
+    "        .words x 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16\n"
+    "        .data a 64\n"
+    "kern_stream:\n"
+    "        mov r0, #0\n"
+    "top:\n"
+    "        ldw r1, [kco + r0]\n"
+    "        ldw r2, [x + r0]\n"
+    "        add r3, r2, r1\n"
+    "        stw [a + r0], r3\n"
+    "        add r0, r0, #1\n"
+    "        cmp r0, #16\n"
+    "        blt top\n"
+    "        ret\n"
+    "main:\n"
+    "        bl.simd kern_stream\n"
+    "        halt\n";
+
+const char *saxpySrc =
+    "        .words x 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18"
+    " 19 20 21 22 23 24 25 26 27 28 29 30 31 32\n"
+    "        .data a 128\n"
+    "saxpy:\n"
+    "        mov r0, #0\n"
+    "top:\n"
+    "        ldw r1, [x + r0]\n"
+    "        mul r1, r1, #3\n"
+    "        add r1, r1, #100\n"
+    "        stw [a + r0], r1\n"
+    "        add r0, r0, #1\n"
+    "        cmp r0, #32\n"
+    "        blt top\n"
+    "        ret\n"
+    "main:\n"
+    "        bl.simd saxpy\n"
+    "        halt\n";
+
+std::vector<PolyDiff>
+diffSource(const char *src, unsigned sabotage = 0)
+{
+    const Program prog = assemble(src);
+    const TranslatorConfig config;
+    return diffProgram(prog, config, sabotage);
+}
+
+unsigned
+mismatchCount(const std::vector<PolyDiff> &diffs)
+{
+    unsigned n = 0;
+    for (const PolyDiff &d : diffs)
+        n += static_cast<unsigned>(d.mismatches.size());
+    return n;
+}
+
+PolyRegion
+analyzeSource(const char *src)
+{
+    const Program prog = assemble(src);
+    const TranslatorConfig config;
+    const auto calls = prog.hintedCalls();
+    EXPECT_FALSE(calls.empty());
+    return analyzePoly(prog, calls.front().target, config);
+}
+
+TEST(Poly, MiniKernelsDifferentialClean)
+{
+    for (const char *src : {kernMixedSrc, kernTrip24Src, kernStreamSrc,
+                            saxpySrc})
+        EXPECT_EQ(mismatchCount(diffSource(src)), 0u);
+}
+
+TEST(Poly, SuiteDifferentialClean)
+{
+    const TranslatorConfig config;
+    for (const auto &wl : makeSuite()) {
+        const Workload::Build build =
+            wl->build(EmitOptions::Mode::Scalarized, 8, true);
+        const auto diffs = diffProgram(build.prog, config);
+        EXPECT_EQ(mismatchCount(diffs), 0u) << wl->name();
+    }
+}
+
+TEST(Poly, EverySabotageMutationDiverges)
+{
+    for (unsigned bit = 0; bit < polySabotageCount; ++bit) {
+        unsigned total = 0;
+        for (const char *src :
+             {kernMixedSrc, kernTrip24Src, kernStreamSrc})
+            total += mismatchCount(diffSource(src, 1u << bit));
+        EXPECT_GT(total, 0u)
+            << "mutation not caught: "
+            << polySabotageName(static_cast<PolySabotage>(1u << bit));
+    }
+}
+
+TEST(Poly, MixedElementSizesAreDepMiscompile)
+{
+    const PolyRegion r = analyzeSource(kernMixedSrc);
+    // Overlapping ldh/stw with distance 1 breaks at every width.
+    EXPECT_TRUE(r.validity.okWidths.empty());
+    const PolyWidthOutcome o = r.instantiate(8);
+    EXPECT_EQ(o.verdict, Severity::Error);
+    EXPECT_TRUE(o.depMiscompile);
+    EXPECT_EQ(o.reason, AbortReason::MemoryDependence);
+    EXPECT_EQ(o.pair.distance, 1u);
+    EXPECT_NE(r.validity.summary.find("error for all N"),
+              std::string::npos)
+        << r.validity.summary;
+}
+
+TEST(Poly, StreamPeriodBecomesCongruence)
+{
+    const PolyRegion r = analyzeSource(kernStreamSrc);
+    EXPECT_TRUE(r.validity.structuralUnbounded);
+    ASSERT_FALSE(r.validity.constraints.empty());
+    bool period = false;
+    for (const NConstraint &c : r.validity.constraints)
+        period = period ||
+                 c.render().find("2 | N") != std::string::npos;
+    EXPECT_TRUE(period) << r.validity.summary;
+    // Trip 16 with a period-2 stream: exactly the even divisors.
+    EXPECT_EQ(r.validity.okWidths,
+              (std::vector<unsigned>{2, 4, 8, 16}));
+    // An odd width breaks the stream congruence (or divisibility).
+    EXPECT_EQ(r.instantiate(3).verdict, Severity::Error);
+}
+
+TEST(Poly, TripDivisorsBoundTheValiditySet)
+{
+    const PolyRegion r = analyzeSource(kernTrip24Src);
+    // Divisors of 24 at least 2.
+    EXPECT_EQ(r.validity.okWidths,
+              (std::vector<unsigned>{2, 3, 4, 6, 8, 12, 24}));
+    EXPECT_TRUE(r.validity.okAt(12));
+    EXPECT_FALSE(r.validity.okAt(16));
+    const PolyWidthOutcome o = r.instantiate(16);
+    EXPECT_EQ(o.verdict, Severity::Error);
+    EXPECT_EQ(o.reason, AbortReason::TripCount);
+    // The tail beyond the horizon is a constant trip-count error.
+    EXPECT_EQ(r.validity.tail.verdict, Severity::Error);
+    EXPECT_TRUE(r.validity.tailExact);
+}
+
+TEST(Poly, ElementwiseRegionIsStructurallyUnbounded)
+{
+    const PolyRegion r = analyzeSource(saxpySrc);
+    EXPECT_TRUE(r.validity.structuralUnbounded);
+    EXPECT_NE(r.validity.summary.find("safe for all N"),
+              std::string::npos)
+        << r.validity.summary;
+}
+
+TEST(Poly, OkAtAgreesWithInstantiate)
+{
+    for (const char *src : {kernTrip24Src, kernStreamSrc, saxpySrc}) {
+        const PolyRegion r = analyzeSource(src);
+        for (unsigned n = 2; n <= r.validity.horizon + 4; ++n) {
+            EXPECT_EQ(r.validity.okAt(n),
+                      r.instantiate(n).verdict == Severity::Ok)
+                << "width " << n;
+        }
+    }
+}
+
+TEST(Poly, VerifyRegionAttachesValiditySet)
+{
+    const Program prog = assemble(saxpySrc);
+    VerifyOptions opts;
+    opts.poly = true;
+    const ProgramReport rep = verifyProgram(prog, opts);
+    ASSERT_EQ(rep.regions.size(), 1u);
+    const RegionReport &r = rep.regions.front();
+    EXPECT_TRUE(r.polyAnalyzed);
+    EXPECT_TRUE(r.polyUnbounded);
+    EXPECT_FALSE(r.polySummary.empty());
+    EXPECT_FALSE(r.polyOkWidths.empty());
+}
+
+TEST(Poly, RandomKernelsDifferentialClean)
+{
+    Rng rng(0xC0FFEEull);
+    Rng dataRng(0xF00Dull);
+    const TranslatorConfig config;
+    for (unsigned i = 0; i < 25; ++i) {
+        const GeneratedKernel g = generateKernel(rng, i);
+        Program prog;
+        try {
+            prog = buildGeneratedProgram(
+                g, dataRng, EmitOptions::Mode::Scalarized, 8);
+        } catch (const FatalError &) {
+            // Register pressure: no verdict to compare.
+            continue;
+        } catch (const PanicError &) {
+            // Staging aliasing: same generator limit.
+            continue;
+        }
+        const auto diffs = diffProgram(prog, config);
+        for (const PolyDiff &d : diffs) {
+            for (const PolyMismatch &m : d.mismatches) {
+                ADD_FAILURE()
+                    << "kernel " << i << " region " << d.entryLabel
+                    << " w" << m.width << " " << m.field
+                    << ": concrete=" << m.expect << " poly=" << m.got;
+            }
+        }
+    }
+}
+
+/**
+ * liquid-verify-v3 is additive over v2: a consumer written against the
+ * v2 layout must parse a v3 document without changes. This exercises a
+ * strict v2 reader over a v3-shaped report (the layout regionJson in
+ * tools/liquid_verify.cc emits, including the new validity object the
+ * v2 reader must tolerate and ignore).
+ */
+TEST(Poly, VerifyV3JsonStaysParseableByV2Consumers)
+{
+    const char *v3doc = R"json({
+      "schema": "liquid-verify-v3",
+      "toolVersion": "3.0",
+      "regions": [{
+        "program": "saxpy.s",
+        "entryLabel": "saxpy",
+        "entryIndex": 0,
+        "requestedWidth": 8,
+        "widthHint": 0,
+        "verdict": "ok",
+        "predicted": {"width": 8, "ucodeInsts": 8, "cvecs": 0},
+        "dep": {
+          "analyzed": true,
+          "resolved": true,
+          "carriedPairs": 0,
+          "minDistance": 0,
+          "accesses": [],
+          "byWidth": {"8": {"verdict": "safe"}}
+        },
+        "validity": {
+          "summary": "safe for all N (observed trip: N | 32)",
+          "structuralUnbounded": true,
+          "okWidths": [2, 4, 8, 16],
+          "constraints": []
+        },
+        "diags": []
+      }],
+      "summary": {"ok": 1, "warn": 0, "error": 0}
+    })json";
+    const json::Value root = json::parse(v3doc);
+
+    // A v2 consumer reads exactly these fields, by these names.
+    ASSERT_NE(root.find("schema"), nullptr);
+    ASSERT_NE(root.find("regions"), nullptr);
+    const json::Value &regions = *root.find("regions");
+    ASSERT_EQ(regions.items().size(), 1u);
+    const json::Value &region = regions.items().front();
+    for (const char *field :
+         {"program", "entryLabel", "entryIndex", "requestedWidth",
+          "verdict", "predicted", "dep", "diags"})
+        EXPECT_NE(region.find(field), nullptr) << field;
+    EXPECT_EQ(region.find("verdict")->asString(), "ok");
+    const json::Value &dep = *region.find("dep");
+    EXPECT_NE(dep.find("byWidth"), nullptr);
+    const json::Value &summary = *root.find("summary");
+    EXPECT_NE(summary.find("ok"), nullptr);
+    // And the v3 addition is present for consumers that want it.
+    const json::Value *validity = region.find("validity");
+    ASSERT_NE(validity, nullptr);
+    EXPECT_NE(validity->find("summary"), nullptr);
+    EXPECT_NE(validity->find("okWidths"), nullptr);
+}
+
+} // namespace

@@ -365,6 +365,34 @@ TEST(ScanPredict, ValidationJoinsAndScoresConcordance)
     EXPECT_EQ(tie.discordantPairs, 0u);
 }
 
+TEST(ScanPredict, ValidationRejectsFunctionalTierRows)
+{
+    lab::ResultSet measured;
+    measured.add(makeResult("wl", ExecMode::ScalarBaseline, 0, 1000));
+    measured.add(makeResult("wl", ExecMode::Liquid, 2, 500));
+    // A functional-tier row carries no cycle clock: joining it would
+    // compare against an absent stat. It must be rejected loudly, not
+    // silently skipped (and never divide by its zero cycles).
+    lab::JobResult fun = makeResult("wl", ExecMode::Liquid, 4, 0);
+    fun.job.tier = fast::ExecTier::Functional;
+    measured.add(fun);
+
+    WorkloadPrediction pred;
+    pred.workload = "wl";
+    pred.speedupByWidth = {{2, 2.1}, {4, 3.9}};
+
+    const ValidationSummary s = validatePredictions({pred}, measured);
+    EXPECT_EQ(s.rejectedFunctional, 1u);
+    ASSERT_EQ(s.rejectedFunctionalKeys.size(), 1u);
+    EXPECT_NE(s.rejectedFunctionalKeys[0].find("fun"),
+              std::string::npos)
+        << s.rejectedFunctionalKeys[0];
+    // Only the cycle-tier width-2 row joins.
+    ASSERT_EQ(s.rows.size(), 1u);
+    EXPECT_EQ(s.rows[0].width, 2u);
+    EXPECT_DOUBLE_EQ(s.rows[0].measured, 2.0);
+}
+
 TEST(ScanPredict, TagPredictionsRoundTripsThroughJson)
 {
     lab::ResultSet set;

@@ -203,6 +203,10 @@ regionJson(const std::string &program, const RegionProof &rp)
         s.set("summary", rp.symbolicN.summary);
         s.set("obligations", rp.symbolicN.obligations);
         s.set("enumPoints", rp.symbolicN.enumPoints);
+        if (!rp.symbolicN.polyValidity.empty()) {
+            s.set("polyUnbounded", rp.symbolicN.polyUnbounded);
+            s.set("polyValidity", rp.symbolicN.polyValidity);
+        }
         v.set("symbolicN", std::move(s));
     }
     json::Value widths = json::Value::array();

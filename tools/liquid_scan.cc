@@ -46,10 +46,14 @@ namespace
  * JSON output format identifier; bump on breaking layout changes.
  * v2: regions gained tripCountBound (liquid-range proven iteration
  * bound, present when --ranges proves one).
+ * v3: candidate regions gained widthValidity{summary, okWidths,
+ * structuralUnbounded} (the liquid-poly predicate on N), and
+ * validation summaries report rejected functional-tier rows. Additive
+ * over v2.
  */
-constexpr const char *scanSchema = "liquid-scan-v2";
+constexpr const char *scanSchema = "liquid-scan-v3";
 /** Tool revision carried in the JSON header for drift detection. */
-constexpr const char *scanToolVersion = "2.0";
+constexpr const char *scanToolVersion = "3.0";
 
 struct Options
 {
@@ -241,6 +245,17 @@ regionJson(const std::string &program, const ScanRegion &r)
     }
     v.set("predictions", std::move(preds));
 
+    if (r.polyAnalyzed) {
+        json::Value pv = json::Value::object();
+        pv.set("summary", r.widthValidity);
+        pv.set("structuralUnbounded", r.polyUnbounded);
+        json::Value okw = json::Value::array();
+        for (const unsigned n : r.polyOkWidths)
+            okw.push(n);
+        pv.set("okWidths", std::move(okw));
+        v.set("widthValidity", std::move(pv));
+    }
+
     if (r.bestWidth) {
         v.set("bestWidth", r.bestWidth);
         v.set("bestSpeedup", r.bestSpeedup);
@@ -361,6 +376,16 @@ main(int argc, char **argv)
                       << " candidate(s), " << ok << " ok, " << warn
                       << " warn, " << error << " error\n";
             if (!opt.validateFile.empty()) {
+                if (validation.rejectedFunctional > 0) {
+                    std::cout << "validation: rejected "
+                              << validation.rejectedFunctional
+                              << " functional-tier row(s) (no cycle "
+                                 "clock under the /fun tier";
+                    for (const std::string &k :
+                         validation.rejectedFunctionalKeys)
+                        std::cout << "; " << k;
+                    std::cout << ")\n";
+                }
                 std::cout << "validation vs " << opt.validateFile
                           << ": " << validation.rows.size()
                           << " joined pair(s), "

@@ -42,10 +42,14 @@ namespace
  * JSON output format identifier; bump on breaking layout changes.
  * v2: byWidth entries became objects {verdict, reason, why, viaRange}
  * and regions gained range{facts, discharged} under --ranges.
+ * v3: regions gained validity{summary, structuralUnbounded, okWidths,
+ * constraints} under --poly. Purely additive over v2 — every v2 field
+ * keeps its name and type, so v2 consumers parse v3 reports unchanged
+ * (tests/poly_test.cc locks that in).
  */
-constexpr const char *verifySchema = "liquid-verify-v2";
+constexpr const char *verifySchema = "liquid-verify-v3";
 /** Tool revision carried in the JSON header for drift detection. */
-constexpr const char *verifyToolVersion = "2.0";
+constexpr const char *verifyToolVersion = "3.0";
 
 struct Options
 {
@@ -54,6 +58,7 @@ struct Options
     bool fallback = true;
     bool prove = false;
     bool ranges = false;
+    bool poly = false;
     bool werror = false;
     bool suite = false;
     bool json = false;
@@ -72,6 +77,9 @@ usage()
         "                   prover\n"
         "  --ranges         seed the verifier with the interprocedural\n"
         "                   value-range analysis (liquid-range facts)\n"
+        "  --poly           attach the width-polymorphic validity set\n"
+        "                   (liquid-poly): for which N does the region\n"
+        "                   verify?\n"
         "  --werror         treat warn verdicts as errors\n"
         "  --json           machine-readable per-region verdicts on"
         " stdout\n"
@@ -96,6 +104,8 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.prove = true;
         } else if (arg == "--ranges") {
             opt.ranges = true;
+        } else if (arg == "--poly") {
+            opt.poly = true;
         } else if (arg == "--suite") {
             opt.suite = true;
         } else if (arg == "--werror") {
@@ -210,6 +220,20 @@ regionJson(const std::string &program, const RegionReport &r)
         p.set("summary", r.proofSummary);
         v.set("translationProof", std::move(p));
     }
+    if (r.polyAnalyzed) {
+        json::Value p = json::Value::object();
+        p.set("summary", r.polySummary);
+        p.set("structuralUnbounded", r.polyUnbounded);
+        json::Value ok = json::Value::array();
+        for (const unsigned n : r.polyOkWidths)
+            ok.push(n);
+        p.set("okWidths", std::move(ok));
+        json::Value cons = json::Value::array();
+        for (const std::string &c : r.polyConstraints)
+            cons.push(c);
+        p.set("constraints", std::move(cons));
+        v.set("validity", std::move(p));
+    }
     if (!r.rangeFacts.empty() || r.rangeDischarged > 0) {
         json::Value rg = json::Value::object();
         rg.set("discharged", r.rangeDischarged);
@@ -243,6 +267,7 @@ report(const Program &prog, const std::string &name, const Options &opt,
     vopts.config.simdWidth = opt.width;
     vopts.widthFallback = opt.fallback;
     vopts.prove = opt.prove;
+    vopts.poly = opt.poly;
 
     std::optional<ProgramRanges> pr;
     if (opt.ranges) {
