@@ -1,0 +1,298 @@
+#include "serve/backend.hh"
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+
+#include "chaos/fault_schedule.hh"
+#include "chaos/oracle.hh"
+#include "common/logging.hh"
+#include "lab/lab.hh"
+#include "lab/results.hh"
+#include "verifier/proof.hh"
+#include "verifier/scan.hh"
+#include "verifier/verifier.hh"
+
+namespace liquid::serve
+{
+
+namespace
+{
+
+/** Digest accumulator: fnv1a over a canonical text rendering. */
+class Digest
+{
+  public:
+    template <typename T>
+    Digest &
+    operator<<(const T &part)
+    {
+        os_ << part << '|';
+        return *this;
+    }
+
+    std::uint64_t value() const { return lab::fnv1a(os_.str()); }
+
+  private:
+    std::ostringstream os_;
+};
+
+Response
+runSimulate(const Request &request, const lab::ResultCache &cold)
+{
+    lab::JobResult result;
+    result.job = request.job;
+    bool fromCold = false;
+    std::string hash;
+    if (cold.enabled()) {
+        const Workload::Build build = lab::buildJob(request.job);
+        hash = lab::contentHash(request.job, build,
+                                request.job.config());
+        if (std::optional<lab::RunOutcome> outcome = cold.load(hash)) {
+            result.outcome = std::move(*outcome);
+            fromCold = true;
+        }
+    }
+    if (!fromCold) {
+        result.outcome = lab::runJob(request.job);
+        if (cold.enabled())
+            cold.store(hash, request.job, result.outcome);
+    }
+
+    Response resp;
+    if (fromCold)
+        resp.source = ResponseSource::ColdCache;
+    resp.digest = result.digest();
+    // Service demand: the simulated clock (cycle tier) or the retired
+    // instruction count (functional tier, which has no clock), scaled
+    // so the default small-kernel mix lands in the same 100us-5ms
+    // virtual service band as the analysis classes (unitsPerUs 1000).
+    resp.workUnits = 10 * (result.outcome.hasCycles
+                               ? result.outcome.cycles
+                               : result.outcome.counters.at("fast.insts"));
+    std::ostringstream os;
+    if (result.outcome.hasCycles)
+        os << result.outcome.cycles << " cycles, "
+           << result.outcome.translations << " translations";
+    else
+        os << result.outcome.counters.at("fast.insts")
+           << " insts (functional)";
+    resp.summary = os.str();
+    return resp;
+}
+
+Response
+runVerify(const Request &request)
+{
+    const Workload::Build build = lab::buildJob(request.job);
+    VerifyOptions opts;
+    opts.config.simdWidth = request.job.width ? request.job.width : 8;
+    const ProgramReport report = verifyProgram(build.prog, opts);
+
+    Response resp;
+    Digest digest;
+    std::uint64_t analyzed = 0;
+    unsigned ok = 0, warn = 0, error = 0;
+    for (const RegionReport &region : report.regions) {
+        digest << region.entryLabel << severityName(region.verdict)
+               << abortReasonName(region.reason)
+               << region.predictedWidth << region.predictedUcode
+               << region.analyzedInsts;
+        analyzed += region.analyzedInsts;
+        ok += region.verdict == Severity::Ok;
+        warn += region.verdict == Severity::Warn;
+        error += region.verdict == Severity::Error;
+    }
+    resp.digest = digest.value();
+    // Static analysis walks abstract retires; scale them to the same
+    // order as scaled simulated cycles so class latencies are
+    // comparable.
+    resp.workUnits = 600 * analyzed + 300 * build.prog.code().size();
+    std::ostringstream os;
+    os << report.regions.size() << " regions: " << ok << " ok, " << warn
+       << " warn, " << error << " error";
+    resp.summary = os.str();
+    return resp;
+}
+
+Response
+runScan(const Request &request)
+{
+    const Workload::Build build = lab::buildJob(request.job);
+    ScanOptions opts;
+    opts.widths = {request.job.width ? request.job.width : 8};
+    const ScanReport report = scanProgram(build.prog, opts);
+
+    Response resp;
+    Digest digest;
+    for (const ScanRegion &region : report.regions) {
+        digest << region.entryLabel
+               << severityName(region.overallVerdict())
+               << region.candidate << region.bestWidth
+               << region.blockCount << region.loopCount;
+    }
+    resp.digest = digest.value();
+    // Discovery + liveness fixpoint + one-width prediction over the
+    // whole binary: dominated by program size.
+    resp.workUnits = 2400 * build.prog.code().size();
+    std::ostringstream os;
+    os << report.regions.size() << " functions, "
+       << report.candidateCount() << " candidates";
+    resp.summary = os.str();
+    return resp;
+}
+
+/** Deterministic fingerprint of a final architectural state. */
+std::uint64_t
+snapshotDigest(const ArchSnapshot &snap)
+{
+    Digest digest;
+    for (Word w : snap.memory)
+        digest << w;
+    for (Word w : snap.scalars)
+        digest << w;
+    digest << snap.cmpState;
+    for (const auto &[addr, count] : snap.callCounts)
+        digest << addr << count;
+    return digest.value();
+}
+
+Response
+runChaos(const Request &request)
+{
+    if (request.job.mode != ExecMode::Liquid)
+        fatal("serve: chaos requests run Liquid mode (got ",
+              lab::modeName(request.job.mode), ")");
+    const std::string scheduleKey =
+        request.job.over.faults ? *request.job.over.faults : "int@40";
+    const FaultSchedule sched = FaultSchedule::parse(scheduleKey);
+    const Workload::Build build = lab::buildJob(request.job);
+    const unsigned width = request.job.width ? request.job.width : 8;
+    const ChaosReference ref = makeReference(build.prog, width);
+    const ChaosReport report =
+        checkSchedule(ref, build.prog, width, sched);
+
+    Response resp;
+    Digest digest;
+    digest << scheduleKey << report.equal << report.cycles
+           << report.faultsFired << report.retranslations
+           << snapshotDigest(report.finalState);
+    resp.digest = digest.value();
+    // Scalar reference + Liquid run + word-for-word state compare.
+    resp.workUnits = 6 * ref.instsRetired + 3 * report.cycles;
+    std::ostringstream os;
+    os << scheduleKey << ": " << (report.equal ? "equal" : "DIVERGED")
+       << ", " << report.faultsFired << " faults, "
+       << report.retranslations << " retranslations";
+    resp.summary = os.str();
+    return resp;
+}
+
+Response
+runProof(const Request &request)
+{
+    const Workload::Build build = lab::buildJob(request.job);
+    ProofOptions opts;
+    opts.widths = {request.job.width ? request.job.width : 8};
+    const ProgramProof proof = proveProgram(build.prog, opts);
+
+    Response resp;
+    Digest digest;
+    for (const RegionProof &region : proof.regions) {
+        digest << region.entryLabel
+               << proofVerdictName(region.overall());
+        for (const WidthProof &w : region.widths)
+            digest << w.width << proofVerdictName(w.verdict);
+    }
+    resp.digest = digest.value();
+    // Symbolic interpretation of scalar region + microcode per width;
+    // far heavier per instruction than abstract interpretation.
+    resp.workUnits = 18000 * build.prog.code().size();
+    std::ostringstream os;
+    os << proof.regions.size() << " regions: "
+       << proof.count(ProofVerdict::Proved) << " proved, "
+       << proof.count(ProofVerdict::Refuted) << " refuted, "
+       << proof.count(ProofVerdict::Unknown) << " unknown";
+    resp.summary = os.str();
+    return resp;
+}
+
+} // namespace
+
+Response
+Backend::execute(const Request &request) const
+{
+    try {
+        Response resp;
+        switch (request.cls) {
+          case RequestClass::Simulate:
+            resp = runSimulate(request, cold_);
+            break;
+          case RequestClass::Verify:
+            resp = runVerify(request);
+            break;
+          case RequestClass::Scan:
+            resp = runScan(request);
+            break;
+          case RequestClass::Chaos:
+            resp = runChaos(request);
+            break;
+          case RequestClass::Proof:
+            resp = runProof(request);
+            break;
+        }
+        resp.status = ResponseStatus::Ok;
+        if (resp.source == ResponseSource::None)
+            resp.source = ResponseSource::Executed;
+        return resp;
+    } catch (const FatalError &e) {
+        Response resp;
+        resp.status = ResponseStatus::Failed;
+        resp.error = e.what();
+        return resp;
+    }
+}
+
+std::vector<Response>
+Backend::executeAll(const std::vector<Request> &requests,
+                    unsigned jobs) const
+{
+    if (jobs == 0) {
+        jobs = std::thread::hardware_concurrency();
+        if (jobs == 0)
+            jobs = 1;
+    }
+    const std::size_t n = requests.size();
+    std::vector<Response> slots(n);
+    if (n == 0)
+        return slots;
+
+    // Slot-indexed results off a shared ticket counter: execution
+    // order is thread-schedule-dependent, the output vector is not.
+    std::atomic<std::size_t> ticket{0};
+    auto workerMain = [&]() {
+        while (true) {
+            const std::size_t index =
+                ticket.fetch_add(1, std::memory_order_relaxed);
+            if (index >= n)
+                return;
+            slots[index] = execute(requests[index]);
+        }
+    };
+
+    const unsigned nw = static_cast<unsigned>(
+        std::min<std::size_t>(jobs, n));
+    if (nw <= 1) {
+        workerMain();
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(nw);
+        for (unsigned w = 0; w < nw; ++w)
+            threads.emplace_back(workerMain);
+        for (auto &t : threads)
+            t.join();
+    }
+    return slots;
+}
+
+} // namespace liquid::serve

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Execution backend for the serve subsystem: one entry point that
+ * dispatches a Request to the pipeline that owns its class — the lab
+ * job machinery (simulate), the static verifier (verify), whole-binary
+ * discovery (scan), the fault-injection equivalence oracle (chaos) or
+ * the symbolic translation validator (proof) — and condenses the
+ * result into a Response.
+ *
+ * Every execution is a pure function of the request key: the payload
+ * digest and the work-unit count are deterministic, bit-identical
+ * across runs, threads and repeat executions. Work units are the
+ * backend's deterministic service-demand measure (simulated cycles,
+ * retired instructions, or analysis size scaled to the same order of
+ * magnitude); the virtual-time service model turns them into service
+ * durations, so tail-latency reports inherit the determinism.
+ */
+
+#ifndef LIQUID_SERVE_BACKEND_HH
+#define LIQUID_SERVE_BACKEND_HH
+
+#include <string>
+#include <vector>
+
+#include "lab/result_cache.hh"
+#include "serve/request.hh"
+
+namespace liquid::serve
+{
+
+/** Executes requests; stateless and safe to call concurrently. */
+class Backend
+{
+  public:
+    /** No cold tier: every execution runs the pipeline. */
+    Backend() : cold_("") {}
+
+    /**
+     * With a cold tier: simulate requests consult the lab's on-disk
+     * content-addressed result cache under @p coldCacheDir before
+     * running, and persist fresh outcomes for the next process. The
+     * other classes always execute (their pipelines are cheap relative
+     * to a simulation). Empty string disables the tier.
+     */
+    explicit Backend(std::string coldCacheDir)
+        : cold_(std::move(coldCacheDir))
+    {
+    }
+
+    /**
+     * Run one request to completion. Returns an Ok response carrying
+     * the payload digest, work units and a one-line summary — or a
+     * Failed response naming the error (a malformed payload never
+     * takes the server down). Ok responses report source Executed, or
+     * ColdCache when the cold tier supplied the outcome.
+     */
+    Response execute(const Request &request) const;
+
+    /**
+     * Execute every request, @p jobs at a time (0 = hardware
+     * concurrency), results slot-indexed by input position — the same
+     * discipline as the lab runner, so the output vector is identical
+     * at any thread count.
+     */
+    std::vector<Response> executeAll(const std::vector<Request> &requests,
+                                     unsigned jobs) const;
+
+  private:
+    lab::ResultCache cold_;
+};
+
+} // namespace liquid::serve
+
+#endif // LIQUID_SERVE_BACKEND_HH

@@ -1,0 +1,53 @@
+#include "serve/hot_cache.hh"
+
+#include "common/logging.hh"
+
+namespace liquid::serve
+{
+
+std::optional<Response>
+HotCache::lookup(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+        stats_.misses += 1;
+        return std::nullopt;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    stats_.hits += 1;
+    return it->second->second;
+}
+
+void
+HotCache::insert(const std::string &key, const Response &response)
+{
+    LIQUID_ASSERT(response.ok(),
+                  "hot cache: only Ok responses are cacheable");
+    if (entries_ == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        // Identical keys promise identical payloads; refresh recency.
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    if (lru_.size() >= entries_) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+        stats_.evictions += 1;
+    }
+    lru_.emplace_front(key, response);
+    index_[key] = lru_.begin();
+    stats_.insertions += 1;
+}
+
+HotCacheStats
+HotCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace liquid::serve

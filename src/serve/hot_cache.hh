@@ -1,0 +1,73 @@
+/**
+ * @file
+ * In-memory hot tier of the content-addressed result cache.
+ *
+ * The lab's on-disk ResultCache makes repeat *campaigns* cheap; under
+ * a live request stream the disk round-trip itself is the latency
+ * floor, so the serve subsystem promotes the same content-addressed
+ * idea to a bounded in-memory LRU map from request key to finished
+ * Response. Hit/miss/insert/evict counters are first-class — the
+ * latency report and the cache-semantics tests read them — and every
+ * operation is O(1) under one mutex, safe for the server's worker
+ * threads (the single-threaded loadgen model shares the type).
+ */
+
+#ifndef LIQUID_SERVE_HOT_CACHE_HH
+#define LIQUID_SERVE_HOT_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "serve/request.hh"
+
+namespace liquid::serve
+{
+
+/** Monotonic counters; snapshot-copyable. */
+struct HotCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+};
+
+/** Bounded LRU response cache keyed by Request::key(). */
+class HotCache
+{
+  public:
+    /** @p entries = 0 disables the cache (every lookup misses). */
+    explicit HotCache(std::size_t entries) : entries_(entries) {}
+
+    std::size_t entries() const { return entries_; }
+
+    /** Look up @p key, refreshing its recency on a hit. */
+    std::optional<Response> lookup(const std::string &key);
+
+    /**
+     * Insert @p response under @p key, evicting the least recently
+     * used entry at capacity. Callers only insert Ok responses — a
+     * cancelled or failed request must never poison the cache, which
+     * the server enforces and the cache asserts.
+     */
+    void insert(const std::string &key, const Response &response);
+
+    HotCacheStats stats() const;
+
+  private:
+    using LruList = std::list<std::pair<std::string, Response>>;
+
+    std::size_t entries_;
+    mutable std::mutex mutex_;
+    LruList lru_;  ///< front = most recently used
+    std::unordered_map<std::string, LruList::iterator> index_;
+    HotCacheStats stats_;
+};
+
+} // namespace liquid::serve
+
+#endif // LIQUID_SERVE_HOT_CACHE_HH

@@ -1,0 +1,105 @@
+#include "serve/quantile.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace liquid::serve
+{
+
+std::size_t
+LatencyHistogram::bucketIndex(std::uint64_t value)
+{
+    if (value < subBuckets)
+        return static_cast<std::size_t>(value);
+    const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(value));
+    const unsigned shift = msb - subBucketBits;
+    const std::uint64_t mantissa = value >> shift;  // [subBuckets, 2*subBuckets)
+    return static_cast<std::size_t>((shift + 1) * subBuckets +
+                                    (mantissa - subBuckets));
+}
+
+std::uint64_t
+LatencyHistogram::bucketLow(std::size_t index)
+{
+    if (index < subBuckets)
+        return index;
+    const unsigned shift =
+        static_cast<unsigned>(index / subBuckets) - 1;
+    const std::uint64_t mantissa = subBuckets + index % subBuckets;
+    return mantissa << shift;
+}
+
+std::uint64_t
+LatencyHistogram::bucketMid(std::size_t index)
+{
+    if (index < subBuckets)
+        return index;  // exact unit bucket
+    const unsigned shift =
+        static_cast<unsigned>(index / subBuckets) - 1;
+    const std::uint64_t width = 1ull << shift;
+    return bucketLow(index) + (width - 1) / 2;
+}
+
+void
+LatencyHistogram::record(std::uint64_t value)
+{
+    buckets_[bucketIndex(value)] += 1;
+    if (count_ == 0 || value < min_)
+        min_ = value;
+    max_ = std::max(max_, value);
+    sum_ += value;
+    count_ += 1;
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    for (std::size_t i = 0; i < bucketCount; ++i)
+        buckets_[i] += other.buckets_[i];
+    if (count_ == 0 || other.min_ < min_)
+        min_ = other.min_;
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
+    count_ += other.count_;
+}
+
+std::uint64_t
+LatencyHistogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    LIQUID_ASSERT(q >= 0.0 && q <= 1.0, "quantile out of [0, 1]");
+    // The rank-th smallest sample, 1-based; q = 0 degenerates to min.
+    const auto rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::min<double>(static_cast<double>(count_),
+                                q * static_cast<double>(count_) + 0.5)));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < bucketCount; ++i) {
+        seen += buckets_[i];
+        if (seen >= rank)
+            return std::clamp(bucketMid(i), min_, max_);
+    }
+    return max_;
+}
+
+json::Value
+LatencyHistogram::distributionJson() const
+{
+    json::Value buckets = json::Value::array();
+    for (std::size_t i = 0; i < bucketCount; ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        json::Value pair = json::Value::array();
+        pair.push(json::Value(bucketMid(i)));
+        pair.push(json::Value(buckets_[i]));
+        buckets.push(std::move(pair));
+    }
+    return buckets;
+}
+
+} // namespace liquid::serve

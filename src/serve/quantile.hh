@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Streaming latency quantile estimator for the serve subsystem.
+ *
+ * A fixed-size geometric histogram (HdrHistogram-style: 32 sub-buckets
+ * per power of two) over unsigned microsecond samples. Recording is
+ * O(1) with no allocation, quantiles are read by a cumulative walk,
+ * and two histograms merge by adding bucket counts — which is what
+ * lets per-worker recordings combine into one deterministic
+ * distribution regardless of thread count.
+ *
+ * Error contract (tests/quantile_test.cc holds it): a bucket spans at
+ * most a 1/32 relative range, so quantile() returns a value within
+ * 3.2% relative error of the exact sorted-sample quantile (values
+ * below 32 land in exact unit buckets and carry no error at all).
+ * Merging loses nothing: record-then-merge and record-all-in-one
+ * produce identical bucket contents, hence identical quantiles.
+ */
+
+#ifndef LIQUID_SERVE_QUANTILE_HH
+#define LIQUID_SERVE_QUANTILE_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/json.hh"
+
+namespace liquid::serve
+{
+
+/** Streaming histogram over microsecond samples. */
+class LatencyHistogram
+{
+  public:
+    /** Sub-buckets per power of two; bounds the relative error. */
+    static constexpr unsigned subBucketBits = 5;
+    static constexpr std::uint64_t subBuckets = 1ull << subBucketBits;
+    /** Enough buckets for any 64-bit sample. */
+    static constexpr std::size_t bucketCount =
+        (64 - subBucketBits + 1) * subBuckets;
+
+    /** Bucket index of @p value (exact below subBuckets). */
+    static std::size_t bucketIndex(std::uint64_t value);
+
+    /** Lowest value mapping to bucket @p index. */
+    static std::uint64_t bucketLow(std::size_t index);
+
+    /** Representative (midpoint) value of bucket @p index. */
+    static std::uint64_t bucketMid(std::size_t index);
+
+    void record(std::uint64_t value);
+
+    /** Add @p other's samples to this histogram (lossless). */
+    void merge(const LatencyHistogram &other);
+
+    /**
+     * Value at quantile @p q in [0, 1]: the representative of the
+     * bucket holding the ceil(q * count)-th smallest sample, clamped
+     * to the observed [min, max]. 0 when empty.
+     */
+    std::uint64_t quantile(double q) const;
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+    std::uint64_t sum() const { return sum_; }
+    /** Integer mean (sum / count); 0 when empty. */
+    std::uint64_t mean() const { return count_ ? sum_ / count_ : 0; }
+
+    /**
+     * Non-empty buckets as [[representativeUs, count], ...] — the
+     * latency-distribution artifact the nightly sweep uploads.
+     */
+    json::Value distributionJson() const;
+
+  private:
+    std::array<std::uint64_t, bucketCount> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+} // namespace liquid::serve
+
+#endif // LIQUID_SERVE_QUANTILE_HH

@@ -1,0 +1,204 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace liquid::serve
+{
+
+Server::Server(ServerConfig config)
+    : config_(config), backend_(config.coldCacheDir),
+      hot_(config.hotCacheEntries)
+{
+    const unsigned nw = std::max(1u, config_.workers);
+    workers_.reserve(nw);
+    for (unsigned w = 0; w < nw; ++w)
+        workers_.emplace_back([this]() { workerMain(); });
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+std::future<Response>
+Server::submit(Request request)
+{
+    std::promise<Response> promise;
+    std::future<Response> future = promise.get_future();
+    const std::string key = request.key();
+
+    // Hot tier first: a hit completes at the door, no queue traffic.
+    // The cache only ever holds Ok responses, so a hit is always
+    // servable. (HotCache has its own lock; counter updates below.)
+    std::optional<Response> cached = hot_.lookup(key);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (cached) {
+        cached->source = ResponseSource::HotCache;
+        stats_.hotHits += 1;
+        stats_.completed += 1;
+        promise.set_value(std::move(*cached));
+        return future;
+    }
+
+    if (stopping_) {
+        Response resp;
+        resp.status = ResponseStatus::Rejected;
+        resp.error = "server is stopping";
+        stats_.rejected += 1;
+        stats_.completed += 1;
+        promise.set_value(std::move(resp));
+        return future;
+    }
+
+    // Coalesce onto an identical in-flight request — queued or already
+    // executing — instead of doing the work twice.
+    if (auto it = inflight_.find(key); it != inflight_.end()) {
+        it->second->waiters.push_back(std::move(promise));
+        stats_.coalesced += 1;
+        return future;
+    }
+
+    if (queue_.size() >= config_.queueCapacity) {
+        Response resp;
+        resp.status = ResponseStatus::Rejected;
+        resp.error = "queue at capacity";
+        stats_.rejected += 1;
+        stats_.completed += 1;
+        promise.set_value(std::move(resp));
+        return future;
+    }
+
+    auto pending = std::make_shared<Pending>();
+    request.id = stats_.accepted;
+    pending->request = std::move(request);
+    pending->submitted = std::chrono::steady_clock::now();
+    pending->waiters.push_back(std::move(promise));
+    inflight_[key] = pending;
+    queue_.push_back(std::move(pending));
+    stats_.accepted += 1;
+    stats_.maxQueueDepth =
+        std::max<std::uint64_t>(stats_.maxQueueDepth, queue_.size());
+    workCv_.notify_one();
+    return future;
+}
+
+void
+Server::deliver(Pending &pending, const Response &resp)
+{
+    bool leader = true;
+    for (std::promise<Response> &waiter : pending.waiters) {
+        Response copy = resp;
+        if (!leader && copy.ok())
+            copy.source = ResponseSource::Coalesced;
+        waiter.set_value(std::move(copy));
+        leader = false;
+        stats_.completed += 1;
+    }
+    pending.waiters.clear();
+}
+
+void
+Server::workerMain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+        workCv_.wait(lock,
+                     [this]() { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            // stopping_ and drained: graceful exit.
+            return;
+        }
+        PendingPtr pending = std::move(queue_.front());
+        queue_.pop_front();
+
+        const std::string key = pending->request.key();
+
+        // Deadline check at service start: a request whose budget
+        // lapsed while it sat in the queue is cancelled — every waiter
+        // notified, nothing executed, nothing cached.
+        if (pending->request.deadlineUs != 0) {
+            const auto waited =
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() -
+                    pending->submitted)
+                    .count();
+            if (static_cast<std::uint64_t>(waited) >
+                pending->request.deadlineUs) {
+                inflight_.erase(key);
+                Response resp;
+                resp.status = ResponseStatus::Cancelled;
+                resp.error = "deadline lapsed in queue";
+                stats_.cancelled += pending->waiters.size();
+                deliver(*pending, resp);
+                if (queue_.empty() && executing_ == 0)
+                    idleCv_.notify_all();
+                continue;
+            }
+        }
+
+        // Execute outside the lock; the inflight entry stays so
+        // identical submissions keep coalescing during execution.
+        executing_ += 1;
+        lock.unlock();
+        const Response resp = backend_.execute(pending->request);
+        lock.lock();
+        executing_ -= 1;
+        inflight_.erase(key);
+
+        if (resp.ok()) {
+            hot_.insert(key, resp);
+            if (resp.source == ResponseSource::ColdCache)
+                stats_.coldHits += 1;
+            else
+                stats_.executed += 1;
+        } else {
+            stats_.failed += 1;
+        }
+        deliver(*pending, resp);
+        if (queue_.empty() && executing_ == 0)
+            idleCv_.notify_all();
+    }
+}
+
+void
+Server::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idleCv_.wait(lock, [this]() {
+        return queue_.empty() && executing_ == 0;
+    });
+}
+
+void
+Server::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_ && workers_.empty())
+            return;
+        stopping_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+    workers_.clear();
+}
+
+ServerStats
+Server::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::size_t
+Server::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+} // namespace liquid::serve

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The long-lived in-process translation server.
+ *
+ * A Server owns a worker pool and an async job queue: submit() hands
+ * back a std::future<Response> immediately and the work proceeds in
+ * the background. Three mechanisms shape the tail:
+ *
+ *  - Hot cache: a bounded in-memory LRU of finished responses keyed by
+ *    the content-addressed request key; hits complete at submit time
+ *    without touching the queue.
+ *  - Coalescing: a request whose key matches one already queued or
+ *    executing attaches to it instead of enqueueing — one execution,
+ *    N bit-identical responses, followers reporting source Coalesced
+ *    and sharing the leader's fate (including cancellation).
+ *  - Deadlines: a request still queued when its latency budget lapses
+ *    is cancelled at dequeue — gracefully, with a Cancelled response
+ *    delivered to every waiter and nothing inserted into any cache.
+ *
+ * Backpressure is explicit: submissions beyond queueCapacity are
+ * rejected at the door with a Rejected response rather than growing
+ * the queue without bound. stop() is graceful — the queue drains
+ * before the workers exit.
+ */
+
+#ifndef LIQUID_SERVE_SERVER_HH
+#define LIQUID_SERVE_SERVER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/backend.hh"
+#include "serve/hot_cache.hh"
+#include "serve/request.hh"
+
+namespace liquid::serve
+{
+
+struct ServerConfig
+{
+    /** Worker threads executing requests. */
+    unsigned workers = 2;
+    /** Queued-leader limit; submissions beyond it are Rejected. */
+    std::size_t queueCapacity = 64;
+    /** Hot-tier capacity in responses; 0 disables the hot cache. */
+    std::size_t hotCacheEntries = 256;
+    /** On-disk cold tier for simulate requests; "" disables. */
+    std::string coldCacheDir;
+};
+
+/** Monotonic server counters; one unit = one submitted request. */
+struct ServerStats
+{
+    std::uint64_t accepted = 0;   ///< entered the queue as a leader
+    std::uint64_t coalesced = 0;  ///< attached to an in-flight leader
+    std::uint64_t hotHits = 0;    ///< completed from the hot tier
+    std::uint64_t coldHits = 0;   ///< leader served from the cold tier
+    std::uint64_t executed = 0;   ///< leader ran the backend
+    std::uint64_t cancelled = 0;  ///< deadline lapsed while queued
+    std::uint64_t rejected = 0;   ///< queue full (or server stopping)
+    std::uint64_t failed = 0;     ///< backend raised an error
+    std::uint64_t completed = 0;  ///< responses delivered, any status
+    std::uint64_t maxQueueDepth = 0;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerConfig config);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Submit one request; returns a future that becomes ready when the
+     * request completes (by execution, cache hit, coalescing,
+     * cancellation or rejection — the future always resolves, never
+     * throws). request.deadlineUs, when nonzero, is a wall-clock
+     * budget measured from submission.
+     */
+    std::future<Response> submit(Request request);
+
+    /** Block until every accepted request has completed. */
+    void drain();
+
+    /**
+     * Graceful shutdown: stop accepting, drain the queue, join the
+     * workers. Idempotent; the destructor calls it.
+     */
+    void stop();
+
+    ServerStats stats() const;
+    HotCacheStats hotCacheStats() const { return hot_.stats(); }
+
+    /** Leaders currently waiting in the queue (excludes executing). */
+    std::size_t queueDepth() const;
+
+  private:
+    /** One queue entry: a leader plus everyone coalesced onto it. */
+    struct Pending
+    {
+        Request request;
+        std::chrono::steady_clock::time_point submitted;
+        std::vector<std::promise<Response>> waiters;
+    };
+    using PendingPtr = std::shared_ptr<Pending>;
+
+    void workerMain();
+    /** Deliver @p resp to every waiter (leader first, followers get
+     *  source Coalesced). Caller holds the lock. */
+    void deliver(Pending &pending, const Response &resp);
+
+    ServerConfig config_;
+    Backend backend_;
+    HotCache hot_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable workCv_;  ///< workers: queue or stop
+    std::condition_variable idleCv_;  ///< drain(): all quiet
+    std::deque<PendingPtr> queue_;
+    /** Keyed leaders, queued or executing — the coalescing map. */
+    std::unordered_map<std::string, PendingPtr> inflight_;
+    std::size_t executing_ = 0;
+    bool stopping_ = false;
+    ServerStats stats_;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace liquid::serve
+
+#endif // LIQUID_SERVE_SERVER_HH

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * The streaming quantile estimator's documented error contract:
+ * p50/p95/p99 within 3.2% relative error of the exact sorted-sample
+ * quantile on uniform, bimodal and heavy-tailed inputs (exact below
+ * 32), and bucket-exact lossless merging.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "serve/quantile.hh"
+
+using namespace liquid;
+using serve::LatencyHistogram;
+
+namespace
+{
+
+/** The estimator's rank convention on the raw samples. */
+std::uint64_t
+exactQuantile(std::vector<std::uint64_t> samples, double q)
+{
+    std::sort(samples.begin(), samples.end());
+    const double n = static_cast<double>(samples.size());
+    const auto rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::min(n, q * n + 0.5)));
+    return samples[rank - 1];
+}
+
+/** Documented bound plus one unit of integer slack. */
+void
+expectWithinBound(const LatencyHistogram &h,
+                  const std::vector<std::uint64_t> &samples, double q)
+{
+    const std::uint64_t exact = exactQuantile(samples, q);
+    const std::uint64_t est = h.quantile(q);
+    const double tolerance =
+        std::max(1.0, 0.032 * static_cast<double>(exact));
+    EXPECT_NEAR(static_cast<double>(est), static_cast<double>(exact),
+                tolerance)
+        << "q=" << q;
+}
+
+const double kQuantiles[] = {0.0, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0};
+
+void
+expectAllQuantiles(const LatencyHistogram &h,
+                   const std::vector<std::uint64_t> &samples)
+{
+    for (double q : kQuantiles)
+        expectWithinBound(h, samples, q);
+}
+
+LatencyHistogram
+recordAll(const std::vector<std::uint64_t> &samples)
+{
+    LatencyHistogram h;
+    for (std::uint64_t v : samples)
+        h.record(v);
+    return h;
+}
+
+} // namespace
+
+TEST(Quantile, ExactBelowSubBuckets)
+{
+    // Unit buckets below 32: the estimate IS the sample.
+    std::vector<std::uint64_t> samples;
+    for (std::uint64_t v = 0; v < 32; ++v)
+        samples.push_back(v);
+    const LatencyHistogram h = recordAll(samples);
+    for (double q : kQuantiles)
+        EXPECT_EQ(h.quantile(q), exactQuantile(samples, q)) << q;
+}
+
+TEST(Quantile, UniformWithinBound)
+{
+    Rng rng(7);
+    std::vector<std::uint64_t> samples;
+    for (int i = 0; i < 10000; ++i)
+        samples.push_back(
+            static_cast<std::uint64_t>(rng.range(1, 1000000)));
+    expectAllQuantiles(recordAll(samples), samples);
+}
+
+TEST(Quantile, BimodalWithinBound)
+{
+    // Fast hot-cache hits around 100us, slow executions around 800ms:
+    // the regime where a mean is useless and the tail is the story.
+    Rng rng(11);
+    std::vector<std::uint64_t> samples;
+    for (int i = 0; i < 5000; ++i)
+        samples.push_back(
+            static_cast<std::uint64_t>(rng.range(80, 140)));
+    for (int i = 0; i < 5000; ++i)
+        samples.push_back(
+            static_cast<std::uint64_t>(rng.range(700000, 900000)));
+    expectAllQuantiles(recordAll(samples), samples);
+}
+
+TEST(Quantile, HeavyTailWithinBound)
+{
+    // Roughly log-uniform over five decades.
+    Rng rng(13);
+    std::vector<std::uint64_t> samples;
+    for (int i = 0; i < 10000; ++i) {
+        const unsigned scale =
+            static_cast<unsigned>(rng.range(0, 16));
+        samples.push_back(1 + (rng.next64() & ((1ull << scale) - 1)));
+    }
+    expectAllQuantiles(recordAll(samples), samples);
+}
+
+TEST(Quantile, MergeIsLossless)
+{
+    Rng rng(17);
+    std::vector<std::uint64_t> a, b, both;
+    for (int i = 0; i < 4000; ++i) {
+        const auto v = static_cast<std::uint64_t>(rng.range(1, 500000));
+        (i % 2 ? a : b).push_back(v);
+        both.push_back(v);
+    }
+    LatencyHistogram merged = recordAll(a);
+    merged.merge(recordAll(b));
+    const LatencyHistogram oneShot = recordAll(both);
+
+    // Bucket-exact: identical contents, hence identical statistics at
+    // every quantile — not merely within tolerance.
+    EXPECT_EQ(merged.count(), oneShot.count());
+    EXPECT_EQ(merged.min(), oneShot.min());
+    EXPECT_EQ(merged.max(), oneShot.max());
+    EXPECT_EQ(merged.sum(), oneShot.sum());
+    for (double q = 0.0; q <= 1.0; q += 0.01)
+        EXPECT_EQ(merged.quantile(q), oneShot.quantile(q)) << q;
+    EXPECT_EQ(merged.distributionJson().toString(),
+              oneShot.distributionJson().toString());
+}
+
+TEST(Quantile, MergeEmptyIsNoop)
+{
+    const std::vector<std::uint64_t> samples{5, 900, 31000};
+    LatencyHistogram h = recordAll(samples);
+    h.merge(LatencyHistogram{});
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.min(), 5u);
+    EXPECT_EQ(h.max(), 31000u);
+
+    LatencyHistogram fresh;
+    fresh.merge(h);
+    EXPECT_EQ(fresh.count(), 3u);
+    EXPECT_EQ(fresh.min(), 5u);
+    EXPECT_EQ(fresh.sum(), h.sum());
+}
+
+TEST(Quantile, EmptyAndSingle)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.mean(), 0u);
+    EXPECT_EQ(h.quantile(0.99), 0u);
+
+    h.record(12345);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.min(), 12345u);
+    EXPECT_EQ(h.max(), 12345u);
+    EXPECT_EQ(h.mean(), 12345u);
+    // One sample: every quantile is that sample, clamped exactly.
+    for (double q : kQuantiles)
+        EXPECT_EQ(h.quantile(q), 12345u) << q;
+}
+
+TEST(Quantile, BucketGeometryRoundTrips)
+{
+    // Every bucket's low edge maps back to its own index, and the
+    // relative bucket width stays within the documented 1/32 bound.
+    for (std::uint64_t v : {0ull, 1ull, 31ull, 32ull, 33ull, 63ull,
+                            64ull, 1000ull, 123456789ull,
+                            (1ull << 40) + 17}) {
+        const std::size_t idx = LatencyHistogram::bucketIndex(v);
+        EXPECT_LE(LatencyHistogram::bucketLow(idx), v);
+        EXPECT_EQ(LatencyHistogram::bucketIndex(
+                      LatencyHistogram::bucketLow(idx)),
+                  idx);
+        if (v >= LatencyHistogram::subBuckets) {
+            const std::uint64_t low = LatencyHistogram::bucketLow(idx);
+            const std::uint64_t width =
+                LatencyHistogram::bucketLow(idx + 1) - low;
+            EXPECT_LE(static_cast<double>(width),
+                      static_cast<double>(low) / 32.0 + 1.0)
+                << v;
+        }
+    }
+}

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Live async Server semantics: coalescing (N identical concurrent
+ * requests -> one execution, N bit-identical responses, correct
+ * counters), the hot tier, deadline cancellation that never poisons
+ * the cache, queue backpressure, and graceful failure isolation.
+ */
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/backend.hh"
+#include "serve/server.hh"
+
+using namespace liquid;
+using namespace liquid::serve;
+
+namespace
+{
+
+Request
+makeRequest(RequestClass cls, const std::string &workload,
+            unsigned width)
+{
+    Request r;
+    r.cls = cls;
+    r.job.experiment = "serve";
+    r.job.workload = workload;
+    r.job.mode = ExecMode::Liquid;
+    r.job.width = width;
+    return r;
+}
+
+/** A request whose execution takes milliseconds of wall time — long
+ *  enough that submissions made while it runs are ordered behind it
+ *  on a single-worker server. */
+Request
+blockerRequest()
+{
+    return makeRequest(RequestClass::Simulate, "lu", 8);
+}
+
+} // namespace
+
+TEST(Serve, BackendResponsesAreBitIdentical)
+{
+    // Two independent executions (separate Backend instances) of the
+    // same key produce the same digest and work units: the referential
+    // transparency that makes coalescing and caching sound.
+    const Request req = makeRequest(RequestClass::Verify, "fir", 4);
+    const Response a = Backend().execute(req);
+    const Response b = Backend().execute(req);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_NE(a.digest, 0u);
+    EXPECT_EQ(a.digest, b.digest);
+    EXPECT_EQ(a.workUnits, b.workUnits);
+    EXPECT_EQ(a.summary, b.summary);
+}
+
+TEST(Serve, EveryClassExecutes)
+{
+    ServerConfig config;
+    config.workers = 4;
+    Server server(config);
+    std::vector<std::future<Response>> futures;
+    for (RequestClass cls : allRequestClasses)
+        futures.push_back(
+            server.submit(makeRequest(cls, "fir", 4)));
+    for (auto &f : futures) {
+        const Response resp = f.get();
+        EXPECT_TRUE(resp.ok()) << resp.error;
+        EXPECT_EQ(resp.source, ResponseSource::Executed);
+        EXPECT_NE(resp.digest, 0u);
+        EXPECT_GT(resp.workUnits, 0u);
+    }
+    server.stop();
+    EXPECT_EQ(server.stats().executed, 5u);
+    EXPECT_EQ(server.stats().completed, 5u);
+}
+
+TEST(Serve, IdenticalConcurrentRequestsCoalesce)
+{
+    ServerConfig config;
+    config.workers = 1;
+    Server server(config);
+
+    // Occupy the single worker for milliseconds, then land N identical
+    // requests behind it: the first becomes the queued leader, the
+    // rest attach to it. Exactly one execution, N identical payloads.
+    std::future<Response> blocker = server.submit(blockerRequest());
+    constexpr int n = 6;
+    const Request req = makeRequest(RequestClass::Scan, "fir", 4);
+    std::vector<std::future<Response>> futures;
+    for (int i = 0; i < n; ++i)
+        futures.push_back(server.submit(req));
+
+    ASSERT_TRUE(blocker.get().ok());
+    std::vector<Response> responses;
+    for (auto &f : futures)
+        responses.push_back(f.get());
+    server.stop();
+
+    for (const Response &resp : responses) {
+        ASSERT_TRUE(resp.ok()) << resp.error;
+        EXPECT_EQ(resp.digest, responses.front().digest);
+        EXPECT_EQ(resp.workUnits, responses.front().workUnits);
+        EXPECT_EQ(resp.summary, responses.front().summary);
+    }
+
+    const ServerStats stats = server.stats();
+    // Blocker + one leader: the identical set executed exactly once.
+    // (A follower that arrives after the leader completes becomes a
+    // hot hit instead of coalescing — either way, never a second
+    // execution.)
+    EXPECT_EQ(stats.executed, 2u);
+    EXPECT_EQ(stats.coalesced + stats.hotHits,
+              static_cast<std::uint64_t>(n - 1));
+    EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(n + 1));
+    int coalescedSources = 0;
+    for (const Response &resp : responses)
+        coalescedSources += resp.source == ResponseSource::Coalesced;
+    EXPECT_EQ(static_cast<std::uint64_t>(coalescedSources),
+              stats.coalesced);
+}
+
+TEST(Serve, HotTierServesRepeats)
+{
+    ServerConfig config;
+    config.workers = 2;
+    Server server(config);
+    const Request req = makeRequest(RequestClass::Proof, "fir", 4);
+
+    const Response first = server.submit(req).get();
+    ASSERT_TRUE(first.ok());
+    EXPECT_EQ(first.source, ResponseSource::Executed);
+
+    const Response second = server.submit(req).get();
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(second.source, ResponseSource::HotCache);
+    EXPECT_EQ(second.digest, first.digest);
+    server.stop();
+
+    EXPECT_EQ(server.stats().executed, 1u);
+    EXPECT_EQ(server.stats().hotHits, 1u);
+    EXPECT_EQ(server.hotCacheStats().hits, 1u);
+    EXPECT_EQ(server.hotCacheStats().insertions, 1u);
+}
+
+TEST(Serve, DeadlineCancelsWithoutPoisoningTheCache)
+{
+    ServerConfig config;
+    config.workers = 1;
+    Server server(config);
+
+    // The worker is busy for milliseconds; a 1us-budget request behind
+    // it must be cancelled at dequeue, not executed late.
+    std::future<Response> blocker = server.submit(blockerRequest());
+    Request doomed = makeRequest(RequestClass::Verify, "fft", 8);
+    doomed.deadlineUs = 1;
+    const Response cancelled = server.submit(doomed).get();
+    EXPECT_EQ(cancelled.status, ResponseStatus::Cancelled);
+    EXPECT_EQ(cancelled.source, ResponseSource::None);
+    EXPECT_EQ(cancelled.digest, 0u);
+    ASSERT_TRUE(blocker.get().ok());
+
+    // The cancelled key must not have been cached: resubmitting with
+    // no deadline executes fresh and succeeds.
+    Request retry = doomed;
+    retry.deadlineUs = 0;
+    const Response after = server.submit(retry).get();
+    ASSERT_TRUE(after.ok()) << after.error;
+    EXPECT_EQ(after.source, ResponseSource::Executed);
+    server.stop();
+
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.cancelled, 1u);
+    EXPECT_EQ(stats.hotHits, 0u);
+    EXPECT_EQ(stats.executed, 2u);
+}
+
+TEST(Serve, QueueCapacityRejectsOverflow)
+{
+    ServerConfig config;
+    config.workers = 1;
+    config.queueCapacity = 1;
+    Server server(config);
+
+    std::future<Response> blocker = server.submit(blockerRequest());
+    // Wait for the worker to dequeue the blocker (it then executes
+    // for milliseconds) so the capacity probe sees an empty queue.
+    while (server.queueDepth() > 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+    // One slot in the queue...
+    std::future<Response> queued =
+        server.submit(makeRequest(RequestClass::Scan, "fir", 4));
+    // ...and the next distinct key bounces at the door.
+    const Response rejected =
+        server.submit(makeRequest(RequestClass::Scan, "fft", 4)).get();
+    EXPECT_EQ(rejected.status, ResponseStatus::Rejected);
+    EXPECT_EQ(rejected.digest, 0u);
+
+    ASSERT_TRUE(blocker.get().ok());
+    ASSERT_TRUE(queued.get().ok());
+    server.stop();
+    EXPECT_EQ(server.stats().rejected, 1u);
+    EXPECT_EQ(server.stats().maxQueueDepth, 1u);
+}
+
+TEST(Serve, BackendFailureIsIsolatedAndUncached)
+{
+    ServerConfig config;
+    config.workers = 1;
+    Server server(config);
+    // Unknown workload: the backend raises, the server answers Failed
+    // and stays up; the failure is never cached.
+    const Request bad =
+        makeRequest(RequestClass::Simulate, "no-such-workload", 4);
+    const Response first = server.submit(bad).get();
+    EXPECT_EQ(first.status, ResponseStatus::Failed);
+    EXPECT_FALSE(first.error.empty());
+    const Response second = server.submit(bad).get();
+    EXPECT_EQ(second.status, ResponseStatus::Failed);
+
+    // And a good request still goes through afterwards.
+    const Response good =
+        server.submit(makeRequest(RequestClass::Scan, "fir", 4)).get();
+    EXPECT_TRUE(good.ok()) << good.error;
+    server.stop();
+    EXPECT_EQ(server.stats().failed, 2u);
+    EXPECT_EQ(server.hotCacheStats().insertions, 1u);
+}
+
+TEST(Serve, StopDrainsAcceptedWork)
+{
+    ServerConfig config;
+    config.workers = 1;
+    Server server(config);
+    std::vector<std::future<Response>> futures;
+    futures.push_back(server.submit(blockerRequest()));
+    futures.push_back(
+        server.submit(makeRequest(RequestClass::Verify, "fir", 4)));
+    futures.push_back(
+        server.submit(makeRequest(RequestClass::Scan, "lu", 8)));
+    // Graceful stop: everything already accepted completes first.
+    server.stop();
+    for (auto &f : futures)
+        EXPECT_TRUE(f.get().ok());
+    // Post-stop submissions are rejected, not lost futures.
+    const Response late =
+        server.submit(makeRequest(RequestClass::Scan, "fir", 4)).get();
+    EXPECT_EQ(late.status, ResponseStatus::Rejected);
+}
